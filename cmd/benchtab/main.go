@@ -1,0 +1,62 @@
+// Command benchtab regenerates every table and figure of the paper's
+// evaluation (see DESIGN.md's per-experiment index and EXPERIMENTS.md for
+// recorded results).
+//
+// Usage:
+//
+//	benchtab [-exp id[,id...]] [-scale N] [-workers P]
+//
+// With no -exp flag, all experiments run in order.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"sepsp/internal/exp"
+	"sepsp/internal/pram"
+)
+
+func main() {
+	var (
+		expFlag = flag.String("exp", "", "comma-separated experiment ids (default: all); use -list to enumerate")
+		scale   = flag.Int("scale", 1, "problem-size multiplier")
+		workers = flag.Int("workers", -1, "worker goroutines (PRAM processors); -1 = GOMAXPROCS, 1 = sequential")
+		list    = flag.Bool("list", false, "list experiment ids and exit")
+	)
+	flag.Parse()
+	if *list {
+		for _, id := range exp.IDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+	ids := exp.IDs()
+	if *expFlag != "" {
+		ids = strings.Split(*expFlag, ",")
+	}
+	ex := pram.NewExecutor(*workers)
+	ok := true
+	for _, id := range ids {
+		start := time.Now()
+		res, err := exp.Run(strings.TrimSpace(id), ex, *scale)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiment %s failed: %v\n", id, err)
+			ok = false
+			continue
+		}
+		for _, t := range res.Tables {
+			t.Render(os.Stdout)
+		}
+		for _, txt := range res.Text {
+			fmt.Println(txt)
+		}
+		fmt.Printf("(%s finished in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+	if !ok {
+		os.Exit(1)
+	}
+}

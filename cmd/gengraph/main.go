@@ -1,0 +1,156 @@
+// Command gengraph generates benchmark graphs in the text format read by
+// cmd/sepsp (see internal/graph.Write). Alongside the graph it can emit a
+// companion coordinates file for grid families, which cmd/sepsp consumes to
+// build hyperplane separator decompositions.
+//
+// Usage:
+//
+//	gengraph -family grid -dims 64x64 -weights 0.5:2 -out g.txt -coords g.coords
+//	gengraph -family ktree -n 5000 -k 3 -out g.txt
+//	gengraph -family random -n 1000 -m 5000 -out g.txt
+//	gengraph -family geometric -n 2000 -radius 0.05 -out g.txt
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+
+	"sepsp/internal/graph"
+	"sepsp/internal/graph/gen"
+)
+
+func main() {
+	var (
+		family  = flag.String("family", "grid", "grid | ktree | random | geometric")
+		dims    = flag.String("dims", "32x32", "grid side lengths, e.g. 64x64 or 16x16x16")
+		n       = flag.Int("n", 1000, "vertex count (ktree/random/geometric)")
+		m       = flag.Int("m", 4000, "edge count (random)")
+		k       = flag.Int("k", 3, "treewidth parameter (ktree)")
+		radius  = flag.Float64("radius", 0.05, "connection radius (geometric)")
+		weights = flag.String("weights", "0.5:2", "uniform weight range lo:hi, or 'unit'")
+		seed    = flag.Int64("seed", 1, "RNG seed")
+		out     = flag.String("out", "", "output graph file (default stdout)")
+		coords  = flag.String("coords", "", "optional coordinates output file (grid/geometric)")
+		negPot  = flag.Float64("negshift", 0, "apply a potential shift of this scale (creates negative edges, no negative cycles)")
+	)
+	flag.Parse()
+	rng := rand.New(rand.NewSource(*seed))
+
+	wf, err := parseWeights(*weights)
+	if err != nil {
+		fatal(err)
+	}
+	var (
+		g         *graph.Digraph
+		coordRows []string
+	)
+	switch *family {
+	case "grid":
+		dd, err := parseDims(*dims)
+		if err != nil {
+			fatal(err)
+		}
+		grid := gen.NewGrid(dd, wf, rng)
+		g = grid.G
+		for _, c := range grid.Coord {
+			coordRows = append(coordRows, joinInts(c))
+		}
+	case "ktree":
+		kt := gen.NewKTree(*n, *k, wf, rng)
+		g = kt.G
+	case "random":
+		g = gen.RandomDigraph(*n, *m, wf, rng)
+	case "geometric":
+		geo := gen.NewGeometric(*n, 2, *radius, wf, rng)
+		g = geo.G
+		for _, p := range geo.Points {
+			coordRows = append(coordRows, fmt.Sprintf("%g %g", p[0], p[1]))
+		}
+	default:
+		fatal(fmt.Errorf("unknown family %q", *family))
+	}
+	if *negPot > 0 {
+		g, _ = gen.PotentialShift(g, *negPot, rng)
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := graph.Write(w, g); err != nil {
+		fatal(err)
+	}
+	if *coords != "" {
+		if coordRows == nil {
+			fatal(fmt.Errorf("family %q has no coordinates", *family))
+		}
+		f, err := os.Create(*coords)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		bw := bufio.NewWriter(f)
+		for _, row := range coordRows {
+			fmt.Fprintln(bw, row)
+		}
+		if err := bw.Flush(); err != nil {
+			fatal(err)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "generated %s: n=%d m=%d\n", *family, g.N(), g.M())
+}
+
+func parseDims(s string) ([]int, error) {
+	parts := strings.Split(s, "x")
+	var dd []int
+	for _, p := range parts {
+		v, err := strconv.Atoi(p)
+		if err != nil {
+			return nil, fmt.Errorf("bad dims %q: %v", s, err)
+		}
+		dd = append(dd, v)
+	}
+	return dd, nil
+}
+
+func parseWeights(s string) (gen.WeightFn, error) {
+	if s == "unit" {
+		return gen.UnitWeights(), nil
+	}
+	parts := strings.SplitN(s, ":", 2)
+	if len(parts) != 2 {
+		return nil, fmt.Errorf("bad weights %q (want lo:hi or unit)", s)
+	}
+	lo, err := strconv.ParseFloat(parts[0], 64)
+	if err != nil {
+		return nil, err
+	}
+	hi, err := strconv.ParseFloat(parts[1], 64)
+	if err != nil {
+		return nil, err
+	}
+	return gen.UniformWeights(lo, hi), nil
+}
+
+func joinInts(xs []int) string {
+	parts := make([]string, len(xs))
+	for i, x := range xs {
+		parts[i] = strconv.Itoa(x)
+	}
+	return strings.Join(parts, " ")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "gengraph:", err)
+	os.Exit(1)
+}

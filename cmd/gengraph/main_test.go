@@ -1,0 +1,48 @@
+package main
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func TestParseDims(t *testing.T) {
+	dd, err := parseDims("3x4x5")
+	if err != nil || !reflect.DeepEqual(dd, []int{3, 4, 5}) {
+		t.Fatalf("dd=%v err=%v", dd, err)
+	}
+	if _, err := parseDims("3xx"); err == nil {
+		t.Fatal("bad dims accepted")
+	}
+	if _, err := parseDims("axb"); err == nil {
+		t.Fatal("non-numeric dims accepted")
+	}
+}
+
+func TestParseWeights(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	wf, err := parseWeights("unit")
+	if err != nil || wf(rng, 0, 1) != 1 {
+		t.Fatalf("unit weights broken: %v", err)
+	}
+	wf, err = parseWeights("2:5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		if w := wf(rng, 0, 1); w < 2 || w >= 5 {
+			t.Fatalf("weight %v out of range", w)
+		}
+	}
+	for _, bad := range []string{"", "2", "a:b", "1:x"} {
+		if _, err := parseWeights(bad); err == nil {
+			t.Fatalf("bad weights %q accepted", bad)
+		}
+	}
+}
+
+func TestJoinInts(t *testing.T) {
+	if got := joinInts([]int{1, 22, 333}); got != "1 22 333" {
+		t.Fatalf("got %q", got)
+	}
+}

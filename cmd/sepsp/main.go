@@ -1,0 +1,204 @@
+// Command sepsp preprocesses a digraph with the separator shortest-path
+// engine and answers queries.
+//
+// Usage:
+//
+//	sepsp -graph g.txt [-coords g.coords] [-alg 41|43] [-workers P] <command>
+//
+// Commands:
+//
+//	sssp -src S              print distances from S (one per line)
+//	path -src S -dst T       print a minimum-weight S→T path
+//	reach -src S             print reachable vertex ids
+//	apsp -srcs a,b,c         distances from several sources
+//	pairs -pairs u:v,u:v     exact pair distances via the hub-label oracle
+//	tree                     render the separator decomposition tree
+//	stats                    preprocessing statistics only
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	sepsp "sepsp"
+	"sepsp/internal/graph"
+)
+
+func main() {
+	var (
+		graphPath  = flag.String("graph", "", "input graph file (required)")
+		coordsPath = flag.String("coords", "", "optional integer coordinates file enabling hyperplane separators")
+		alg        = flag.Int("alg", 41, "E+ construction: 41 (leaves-up) or 43 (simultaneous)")
+		workers    = flag.Int("workers", 1, "goroutine workers (PRAM processors); -1 = GOMAXPROCS")
+		src        = flag.Int("src", 0, "source vertex")
+		dst        = flag.Int("dst", 0, "destination vertex (path)")
+		srcsFlag   = flag.String("srcs", "", "comma-separated sources (apsp)")
+		pairsFlag  = flag.String("pairs", "", "comma-separated u:v pairs (pairs)")
+	)
+	flag.Parse()
+	if *graphPath == "" || flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	cmd := flag.Arg(0)
+
+	f, err := os.Open(*graphPath)
+	if err != nil {
+		fatal(err)
+	}
+	dg, err := graph.Read(f)
+	f.Close()
+	if err != nil {
+		fatal(err)
+	}
+	g := sepsp.NewGraph(dg.N())
+	dg.Edges(func(from, to int, w float64) bool {
+		g.AddEdge(from, to, w)
+		return true
+	})
+	opt := &sepsp.Options{Workers: *workers}
+	if *alg == 43 {
+		opt.Algorithm = sepsp.Simultaneous
+	}
+	if *coordsPath != "" {
+		coords, err := readCoords(*coordsPath, dg.N())
+		if err != nil {
+			fatal(err)
+		}
+		opt.Coordinates = coords
+	}
+	ix, err := sepsp.Build(g, opt)
+	if err != nil {
+		fatal(err)
+	}
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+	switch cmd {
+	case "stats":
+		st := ix.Stats()
+		fmt.Fprintf(w, "n=%d m=%d\n", dg.N(), dg.M())
+		fmt.Fprintf(w, "prep: work=%d rounds=%d\n", st.PrepWork, st.PrepRounds)
+		fmt.Fprintf(w, "tree: height=%d maxSep=%d\n", st.TreeHeight, st.MaxSeparator)
+		fmt.Fprintf(w, "E+: %d edges, diam(G+) <= %d\n", st.Shortcuts, st.DiameterBound)
+		fmt.Fprintf(w, "query: %d phases, %d relaxations/source\n", st.QueryPhases, st.QueryWork)
+	case "sssp":
+		for v, d := range ix.SSSP(*src) {
+			fmt.Fprintf(w, "%d %g\n", v, d)
+		}
+	case "path":
+		path, wgt, ok := ix.Path(*src, *dst)
+		if !ok {
+			fmt.Fprintf(w, "unreachable\n")
+			return
+		}
+		fmt.Fprintf(w, "weight %g\n", wgt)
+		for _, v := range path {
+			fmt.Fprintf(w, "%d\n", v)
+		}
+	case "reach":
+		r, err := ix.Reachable(*src)
+		if err != nil {
+			fatal(err)
+		}
+		for v, ok := range r {
+			if ok {
+				fmt.Fprintf(w, "%d\n", v)
+			}
+		}
+	case "tree":
+		fmt.Fprint(w, ix.RenderDecomposition())
+	case "pairs":
+		pairs, err := parsePairs(*pairsFlag)
+		if err != nil {
+			fatal(err)
+		}
+		o, err := ix.BuildOracle()
+		if err != nil {
+			fatal(err)
+		}
+		for i, d := range o.Pairs(pairs) {
+			fmt.Fprintf(w, "%d %d %g\n", pairs[i][0], pairs[i][1], d)
+		}
+	case "apsp":
+		var srcs []int
+		for _, p := range strings.Split(*srcsFlag, ",") {
+			v, err := strconv.Atoi(strings.TrimSpace(p))
+			if err != nil {
+				fatal(fmt.Errorf("bad -srcs: %v", err))
+			}
+			srcs = append(srcs, v)
+		}
+		rows := ix.Sources(srcs)
+		for i, s := range srcs {
+			for v, d := range rows[i] {
+				fmt.Fprintf(w, "%d %d %g\n", s, v, d)
+			}
+		}
+	default:
+		fatal(fmt.Errorf("unknown command %q", cmd))
+	}
+}
+
+func parsePairs(s string) ([][2]int, error) {
+	if s == "" {
+		return nil, fmt.Errorf("pairs: -pairs is required (u:v,u:v,…)")
+	}
+	var out [][2]int
+	for _, part := range strings.Split(s, ",") {
+		uv := strings.SplitN(strings.TrimSpace(part), ":", 2)
+		if len(uv) != 2 {
+			return nil, fmt.Errorf("pairs: bad pair %q (want u:v)", part)
+		}
+		u, err := strconv.Atoi(uv[0])
+		if err != nil {
+			return nil, fmt.Errorf("pairs: %v", err)
+		}
+		v, err := strconv.Atoi(uv[1])
+		if err != nil {
+			return nil, fmt.Errorf("pairs: %v", err)
+		}
+		out = append(out, [2]int{u, v})
+	}
+	return out, nil
+}
+
+func readCoords(path string, n int) ([][]int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	var coords [][]int
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var row []int
+		for _, p := range strings.Fields(line) {
+			v, err := strconv.Atoi(p)
+			if err != nil {
+				return nil, fmt.Errorf("coords: %v", err)
+			}
+			row = append(row, v)
+		}
+		coords = append(coords, row)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(coords) != n {
+		return nil, fmt.Errorf("coords: %d rows for %d vertices", len(coords), n)
+	}
+	return coords, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sepsp:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,47 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestReadCoords(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "coords")
+	if err := os.WriteFile(path, []byte("0 0\n\n0 1\n1 0\n1 1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	coords, err := readCoords(path, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(coords) != 4 || coords[2][0] != 1 || coords[2][1] != 0 {
+		t.Fatalf("coords=%v", coords)
+	}
+	if _, err := readCoords(path, 5); err == nil {
+		t.Fatal("row-count mismatch accepted")
+	}
+	bad := filepath.Join(dir, "bad")
+	if err := os.WriteFile(bad, []byte("a b\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := readCoords(bad, 1); err == nil {
+		t.Fatal("non-numeric coords accepted")
+	}
+	if _, err := readCoords(filepath.Join(dir, "missing"), 1); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestParsePairs(t *testing.T) {
+	pairs, err := parsePairs("1:2, 3:4")
+	if err != nil || len(pairs) != 2 || pairs[1] != [2]int{3, 4} {
+		t.Fatalf("pairs=%v err=%v", pairs, err)
+	}
+	for _, bad := range []string{"", "1", "1:2:3x", "a:b"} {
+		if _, err := parsePairs(bad); err == nil {
+			t.Fatalf("bad pairs %q accepted", bad)
+		}
+	}
+}

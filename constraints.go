@@ -1,0 +1,48 @@
+package sepsp
+
+import (
+	"errors"
+	"fmt"
+
+	"sepsp/internal/constraints"
+	"sepsp/internal/pram"
+)
+
+// ErrInfeasible reports that a difference-constraint system has no solution.
+var ErrInfeasible = errors.New("sepsp: constraint system is infeasible")
+
+// Constraint encodes the inequality  x[I] − x[J] ≤ C.
+type Constraint struct {
+	I, J int
+	C    float64
+}
+
+// SolveConstraints solves a system of difference constraints over numVars
+// variables using the separator shortest-path engine — the paper's Section 1
+// application (systems of inequalities with two variables per inequality,
+// restricted to the difference subclass). The returned assignment is the
+// canonical one (componentwise maximal among solutions with nonpositive
+// values). opt configures the decomposition of the constraint graph exactly
+// as in Build.
+func SolveConstraints(numVars int, cons []Constraint, opt *Options) ([]float64, error) {
+	sys := &constraints.System{NumVars: numVars}
+	for _, c := range cons {
+		sys.Cons = append(sys.Cons, constraints.Constraint{I: c.I, J: c.J, C: c.C})
+	}
+	finder, err := opt.finder()
+	if err != nil {
+		return nil, err
+	}
+	var ex *pram.Executor
+	if opt != nil {
+		ex = opt.executor()
+	}
+	sol, err := constraints.SolveSeparator(sys, finder, ex, nil)
+	if err != nil {
+		if errors.Is(err, constraints.ErrInfeasible) {
+			return nil, fmt.Errorf("%w: %v", ErrInfeasible, err)
+		}
+		return nil, err
+	}
+	return sol, nil
+}

@@ -1,0 +1,77 @@
+// Netbandwidth: widest-path (maximum-bottleneck-bandwidth) routing in a
+// data-center-like network, using the engine's path-algebra generalization
+// (the paper's comment (iii): the algorithm applies to path problems over
+// semirings, not just min-plus).
+//
+// The topology is a 2-D torus-free grid fabric of switches; each link has a
+// capacity. Over the bottleneck semiring (max, min) the "distance" from u
+// to v is the largest bandwidth deliverable on a single path.
+//
+//	go run ./examples/netbandwidth
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"sepsp/internal/graph"
+	"sepsp/internal/graph/gen"
+	"sepsp/internal/pathalgebra"
+	"sepsp/internal/semiring"
+	"sepsp/internal/separator"
+)
+
+const side = 12
+
+func main() {
+	rng := rand.New(rand.NewSource(5))
+	grid := gen.NewGrid([]int{side, side}, gen.UnitWeights(), rng)
+
+	// Link capacities in Gbit/s: spine-ish rows get fat links.
+	var edges []pathalgebra.Edge[float64]
+	grid.G.Edges(func(from, to int, _ float64) bool {
+		capacity := 1 + 99*rng.Float64() // Gbit/s
+		if grid.Coord[from][0] == side/2 && grid.Coord[to][0] == side/2 {
+			capacity = 400 // the spine row
+		}
+		edges = append(edges, pathalgebra.Edge[float64]{From: from, To: to, W: capacity})
+		return true
+	})
+
+	sk := graph.NewSkeleton(grid.G)
+	tree, err := separator.Build(sk, &separator.CoordinateFinder{Coord: grid.Coord}, separator.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	eng, err := pathalgebra.New[float64](semiring.Bottleneck{}, grid.G.N(), edges, tree)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	src := grid.Index([]int{0, 0})
+	bw := eng.SingleSource(src)
+	fmt.Printf("deliverable bandwidth from switch (0,0) — %d shortcut edges:\n", eng.ShortcutCount())
+	for _, target := range [][]int{{0, 11}, {6, 6}, {11, 11}, {11, 0}} {
+		v := grid.Index(target)
+		fmt.Printf("  to (%2d,%2d): %g Gbit/s\n", target[0], target[1], bw[v])
+	}
+
+	// Same engine, different algebra: most-reliable path (max, ×) with
+	// per-link success probabilities.
+	var rel []pathalgebra.Edge[float64]
+	grid.G.Edges(func(from, to int, _ float64) bool {
+		rel = append(rel, pathalgebra.Edge[float64]{From: from, To: to, W: 1 - 0.01*float64(1+rng.Intn(5))})
+		return true
+	})
+	reng, err := pathalgebra.New[float64](semiring.Reliability{}, grid.G.N(), rel, tree)
+	if err != nil {
+		log.Fatal(err)
+	}
+	p := reng.SingleSource(src)
+	fmt.Println("most-reliable delivery probability from (0,0):")
+	for _, target := range [][]int{{6, 6}, {11, 11}} {
+		v := grid.Index(target)
+		fmt.Printf("  to (%2d,%2d): %.4f\n", target[0], target[1], p[v])
+	}
+}

@@ -1,0 +1,3 @@
+module sepsp
+
+go 1.23

@@ -1,0 +1,242 @@
+package augment
+
+import (
+	"fmt"
+	"sync"
+
+	"sepsp/internal/graph"
+	"sepsp/internal/matrix"
+	"sepsp/internal/separator"
+)
+
+// Alg41 computes E+ with Algorithm 4.1, processing the decomposition tree
+// level by level from the leaves up. At each internal node t with children
+// t1, t2 (for which dist_{G(ti)} on B(ti)×B(ti) is already known):
+//
+//	(i)   build H_S on S(t) with w(v1,v2) = min_i dist_{G(ti)}(v1,v2);
+//	(ii)  close H_S all-pairs  → dist_{G(t)} on S(t)×S(t);
+//	(iii) build H on B(t) ∪ S(t) with edge sets B×S, S×B (child distances)
+//	      and S×S (closed H_S distances);
+//	(iv)  3-limited shortest paths between boundary vertices, realized as
+//	      two rectangular min-plus products  (B×S)⊗(S×S)⊗(S×B);
+//	(v)   dist_{G(t)} on B(t)×B(t) = min(child distance, 3-limited distance).
+//
+// All nodes of one level are processed in one parallel round group; counted
+// rounds per level are the maximum over its nodes, matching the PRAM model
+// where the nodes run concurrently.
+func Alg41(g *graph.Digraph, t *separator.Tree, cfg Config) (*Result, error) {
+	if g.N() != t.N() {
+		return nil, fmt.Errorf("augment: graph has %d vertices, tree %d", g.N(), t.N())
+	}
+	byLevel := nodesByLevel(t)
+	nn := len(t.Nodes)
+	db := make([]*matrix.Dense, nn)  // dist_{G(t)} over B(t)×B(t), rows/cols in B order
+	hsm := make([]*matrix.Dense, nn) // closed H_S per internal node, in S order
+	bIdx := make([]map[int]int, nn)  // vertex -> index in B(t)
+	collectors := make([]*collector, nn)
+	errs := make([]error, nn)
+	ex := cfg.ex()
+
+	for level := t.Height; level >= 0; level-- {
+		nodes := byLevel[level]
+		if len(nodes) == 0 {
+			continue
+		}
+		var maxRounds int64
+		var mu sync.Mutex
+		ex.For(len(nodes), func(i int) {
+			id := nodes[i]
+			nd := &t.Nodes[id]
+			var rounds int64
+			var err error
+			if nd.IsLeaf() {
+				rounds, err = processLeaf41(g, nd, db, bIdx, cfg)
+			} else {
+				rounds, err = processInternal41(nd, db, hsm, bIdx, cfg)
+			}
+			if err != nil {
+				errs[id] = err
+				return
+			}
+			collectors[id] = collectNode41(nd, db[id], hsm[id])
+			mu.Lock()
+			if rounds > maxRounds {
+				maxRounds = rounds
+			}
+			mu.Unlock()
+		})
+		for _, id := range nodes {
+			if errs[id] != nil {
+				return nil, errs[id]
+			}
+		}
+		cfg.Stats.AddRounds(maxRounds)
+		// Matrices of the level below have now been fully consumed.
+		if level+1 <= t.Height {
+			for _, id := range byLevel[level+1] {
+				db[id] = nil
+				hsm[id] = nil
+			}
+		}
+	}
+	out := newCollector()
+	for _, c := range collectors {
+		if c == nil {
+			continue
+		}
+		out.raw += c.raw
+		for k, w := range c.m {
+			if old, ok := out.m[k]; !ok || w < old {
+				out.m[k] = w
+			}
+		}
+	}
+	return out.result(), nil
+}
+
+// collectNode41 emits E_t = S(t)×S(t) ∪ B(t)×B(t) with the distances
+// computed at node nd (hs may be nil for leaves).
+func collectNode41(nd *separator.Node, dbt *matrix.Dense, hs *matrix.Dense) *collector {
+	c := newCollector()
+	if hs != nil {
+		for i, u := range nd.S {
+			for j, v := range nd.S {
+				c.add(u, v, hs.At(i, j))
+			}
+		}
+	}
+	for i, u := range nd.B {
+		for j, v := range nd.B {
+			c.add(u, v, dbt.At(i, j))
+		}
+	}
+	return c
+}
+
+// processLeaf41 computes the leaf's boundary-pair distances by a full
+// Floyd-Warshall on the O(1)-size leaf subgraph.
+func processLeaf41(g *graph.Digraph, nd *separator.Node, db []*matrix.Dense, bIdx []map[int]int, cfg Config) (int64, error) {
+	full, idx, err := leafClosure(g, nd, cfg)
+	if err != nil {
+		return 0, err
+	}
+	B := nd.B
+	d := matrix.New(len(B), len(B))
+	for i, u := range B {
+		for j, v := range B {
+			d.Set(i, j, full.At(idx[u], idx[v]))
+		}
+	}
+	db[nd.ID] = d
+	bIdx[nd.ID] = indexOf(B)
+	return int64(len(nd.V)), nil // FW phases on the leaf
+}
+
+// processInternal41 runs steps (i)-(v) of Algorithm 4.1 at one internal node.
+func processInternal41(nd *separator.Node, db, hsm []*matrix.Dense, bIdx []map[int]int, cfg Config) (int64, error) {
+	c1, c2 := nd.Children[0], nd.Children[1]
+	db1, db2 := db[c1], db[c2]
+	idx1, idx2 := bIdx[c1], bIdx[c2]
+	if db1 == nil || db2 == nil {
+		return 0, fmt.Errorf("augment: node %d processed before its children", nd.ID)
+	}
+	S, B := nd.S, nd.B
+	inf := graph.Inf()
+
+	// Step (i): H_S with the min of the two child distances. Every s ∈ S(t)
+	// lies in B(t1) ∩ B(t2) by construction.
+	hs := matrix.New(len(S), len(S))
+	for i, u := range S {
+		p1, ok1 := idx1[u]
+		p2, ok2 := idx2[u]
+		if !ok1 || !ok2 {
+			return 0, fmt.Errorf("augment: separator vertex %d missing from child boundary at node %d", u, nd.ID)
+		}
+		for j, v := range S {
+			w := inf
+			if q, ok := idx1[v]; ok {
+				w = db1.At(p1, q)
+			}
+			if q, ok := idx2[v]; ok {
+				if x := db2.At(p2, q); x < w {
+					w = x
+				}
+			}
+			hs.Set(i, j, w)
+		}
+	}
+	cfg.Stats.AddWork(int64(len(S)) * int64(len(S)))
+
+	// Step (ii): close H_S.
+	if err := closure(hs, cfg); err != nil {
+		return 0, fmt.Errorf("%w (separator graph of node %d)", ErrNegativeCycle, nd.ID)
+	}
+	rounds := closureRounds(len(S), cfg)
+
+	// Steps (iii)+(iv): 3-limited boundary-to-boundary distances through S,
+	// as (B×S) ⊗ closed(S×S) ⊗ (S×B).
+	sIdx := indexOf(S)
+	wBS := matrix.New(len(B), len(S))
+	wSB := matrix.New(len(S), len(B))
+	for bi, b := range B {
+		if si, ok := sIdx[b]; ok {
+			// b is itself a separator vertex of this node: use the closed
+			// H_S row/column directly.
+			for sj := range S {
+				wBS.Set(bi, sj, hs.At(si, sj))
+				wSB.Set(sj, bi, hs.At(sj, si))
+			}
+			continue
+		}
+		var d *matrix.Dense
+		var p int
+		var cIdx map[int]int
+		if q, ok := idx1[b]; ok {
+			d, p, cIdx = db1, q, idx1
+		} else if q, ok := idx2[b]; ok {
+			d, p, cIdx = db2, q, idx2
+		} else {
+			return 0, fmt.Errorf("augment: boundary vertex %d of node %d in neither child boundary", b, nd.ID)
+		}
+		for sj, s := range S {
+			q := cIdx[s]
+			wBS.Set(bi, sj, d.At(p, q))
+			wSB.Set(sj, bi, d.At(q, p))
+		}
+	}
+	cfg.Stats.AddWork(2 * int64(len(B)) * int64(len(S)))
+	var d3 *matrix.Dense
+	if len(S) > 0 && len(B) > 0 {
+		y := matrix.MulMinPlus(wBS, hs, cfg.ex(), cfg.Stats)
+		d3 = matrix.MulMinPlus(y, wSB, cfg.ex(), cfg.Stats)
+		rounds += 2 * matrix.MulRounds(len(S))
+	} else {
+		d3 = matrix.New(len(B), len(B))
+	}
+
+	// Step (v): combine with within-child boundary distances.
+	dbt := d3 // reuse the 3-limited matrix as the output
+	for i, u := range B {
+		p1, in1 := idx1[u]
+		p2, in2 := idx2[u]
+		for j, v := range B {
+			if in1 {
+				if q, ok := idx1[v]; ok {
+					dbt.SetMin(i, j, db1.At(p1, q))
+				}
+			}
+			if in2 {
+				if q, ok := idx2[v]; ok {
+					dbt.SetMin(i, j, db2.At(p2, q))
+				}
+			}
+		}
+		dbt.SetMin(i, i, 0)
+	}
+	cfg.Stats.AddWork(int64(len(B)) * int64(len(B)))
+
+	db[nd.ID] = dbt
+	hsm[nd.ID] = hs
+	bIdx[nd.ID] = indexOf(B)
+	return rounds + 1, nil
+}

@@ -1,0 +1,154 @@
+// Package augment implements the paper's core contribution: constructing the
+// shortcut edge set E+ (Section 3.1) from a separator decomposition tree,
+// with the two computation strategies of Section 4:
+//
+//   - Alg41 — "computing E+ from the leaves up" (Algorithm 4.1): one
+//     all-pairs closure on each separator graph H_S plus a 3-limited
+//     computation on the boundary graph H, processed level by level.
+//   - Alg43 — the faster simultaneous algorithm (Algorithm 4.3): every tree
+//     node repeatedly applies one path-doubling step to its local complete
+//     graph H(t) and pulls improved weights from its children, saving a
+//     Θ(log n) factor in parallel time at the cost of a Θ(log n) factor in
+//     work.
+//
+// Both produce identical E+ weights: for every tree node t, an edge (v1, v2)
+// with weight dist_{G(t)}(v1, v2) for every pair in S(t)×S(t) ∪ B(t)×B(t)
+// (Theorem 3.1 / Proposition 4.2 / Proposition 4.5). A boolean variant for
+// reachability (the paper's M(n^μ) bounds) lives in boolean.go.
+package augment
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"sepsp/internal/graph"
+	"sepsp/internal/matrix"
+	"sepsp/internal/pram"
+	"sepsp/internal/separator"
+)
+
+// ErrNegativeCycle reports that the input graph contains a negative-weight
+// cycle; per the paper's comment (i), detection happens within the
+// preprocessing resource bounds.
+var ErrNegativeCycle = errors.New("augment: negative-weight cycle detected")
+
+// Config controls an augmentation run.
+type Config struct {
+	// Ex supplies the parallel executor; nil means pram.Sequential.
+	Ex *pram.Executor
+	// Stats receives work/round counts; nil discards them.
+	Stats *pram.Stats
+	// UseFloydWarshall switches per-node closures from repeated squaring
+	// (O(log²) time, O(n³ log n) work — the paper's parallel choice) to
+	// Floyd-Warshall (O(n) phases, O(n³) work — the sequential choice).
+	UseFloydWarshall bool
+}
+
+func (c Config) ex() *pram.Executor {
+	if c.Ex == nil {
+		return pram.Sequential
+	}
+	return c.Ex
+}
+
+// Result is a computed augmentation.
+type Result struct {
+	// Edges is the deduplicated E+: at most one edge per ordered pair (the
+	// minimum-weight parallel edge, per Section 3.1), self-loops omitted.
+	Edges []graph.Edge
+	// RawCount is the number of (pair, node) contributions before
+	// deduplication — the quantity bounded by Theorem 5.1(iii).
+	RawCount int64
+}
+
+// collector deduplicates shortcut edges, keeping the minimum weight per
+// ordered pair. It is not safe for concurrent use; callers merge per-level.
+type collector struct {
+	m   map[int64]float64
+	raw int64
+}
+
+func newCollector() *collector { return &collector{m: make(map[int64]float64)} }
+
+func pairKey(u, v int) int64 { return int64(u)<<32 | int64(uint32(v)) }
+
+func (c *collector) add(u, v int, w float64) {
+	if u == v || math.IsInf(w, 1) {
+		return
+	}
+	c.raw++
+	k := pairKey(u, v)
+	if old, ok := c.m[k]; !ok || w < old {
+		c.m[k] = w
+	}
+}
+
+func (c *collector) result() *Result {
+	edges := make([]graph.Edge, 0, len(c.m))
+	for k, w := range c.m {
+		edges = append(edges, graph.Edge{From: int(k >> 32), To: int(uint32(k)), W: w})
+	}
+	return &Result{Edges: edges, RawCount: c.raw}
+}
+
+// indexOf builds a vertex -> position map for a sorted label set.
+func indexOf(vs []int) map[int]int {
+	m := make(map[int]int, len(vs))
+	for i, v := range vs {
+		m[v] = i
+	}
+	return m
+}
+
+// leafClosure computes all-pairs distances within the leaf subgraph G(t)
+// (induced on V(t)) and returns the dense |V|×|V| closure along with the
+// local index map. Leaves are O(1)-sized, so Floyd-Warshall is used
+// regardless of mode; a negative diagonal reports a negative cycle confined
+// to the leaf.
+func leafClosure(g *graph.Digraph, nd *separator.Node, cfg Config) (*matrix.Dense, map[int]int, error) {
+	idx := indexOf(nd.V)
+	d := matrix.NewSquare(len(nd.V))
+	for i, v := range nd.V {
+		g.Out(v, func(to int, w float64) bool {
+			if j, ok := idx[to]; ok {
+				d.SetMin(i, j, w)
+			}
+			return true
+		})
+	}
+	if err := matrix.FloydWarshall(d, pram.Sequential, cfg.Stats); err != nil {
+		return nil, nil, fmt.Errorf("%w (inside leaf node %d)", ErrNegativeCycle, nd.ID)
+	}
+	return d, idx, nil
+}
+
+// closure runs the configured all-pairs closure in place.
+func closure(d *matrix.Dense, cfg Config) error {
+	if cfg.UseFloydWarshall {
+		return matrix.FloydWarshall(d, cfg.ex(), cfg.Stats)
+	}
+	return matrix.Closure(d, cfg.ex(), cfg.Stats)
+}
+
+// closureRounds is the analytic PRAM round count of one closure on a k×k
+// matrix under the configured mode.
+func closureRounds(k int, cfg Config) int64 {
+	if k <= 1 {
+		return 1
+	}
+	if cfg.UseFloydWarshall {
+		return int64(k)
+	}
+	return matrix.MulRounds(k) * matrix.MulRounds(k) // log k squarings × log k depth
+}
+
+// nodesByLevel groups node ids by tree level, deepest first.
+func nodesByLevel(t *separator.Tree) [][]int {
+	byLevel := make([][]int, t.Height+1)
+	for i := range t.Nodes {
+		l := t.Nodes[i].Level
+		byLevel[l] = append(byLevel[l], i)
+	}
+	return byLevel
+}

@@ -1,0 +1,169 @@
+package augment
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"sepsp/internal/bitmat"
+	"sepsp/internal/graph"
+	"sepsp/internal/separator"
+)
+
+// Reach43 is the reachability (boolean semiring) instantiation of Algorithm
+// 4.3: each tree node maintains a boolean matrix over VH(t) and the
+// path-doubling step becomes a boolean matrix product — the plug-in point
+// where the paper invokes fast matrix multiplication M(r). Here the product
+// is the word-parallel bitset kernel of internal/bitmat (see DESIGN.md
+// substitutions).
+//
+// The returned Result contains E+ as zero-weight edges: (v1, v2) ∈ E+ iff v2
+// is reachable from v1 in G(t) for some node t with {v1,v2} ⊆ S(t) or
+// {v1,v2} ⊆ B(t).
+func Reach43(g *graph.Digraph, t *separator.Tree, cfg Config) (*Result, error) {
+	if g.N() != t.N() {
+		return nil, fmt.Errorf("augment: graph has %d vertices, tree %d", g.N(), t.N())
+	}
+	ex := cfg.ex()
+	nn := len(t.Nodes)
+	type bnode struct {
+		u        []int
+		uIdx     map[int]int
+		m        *bitmat.Matrix
+		childPos [2][]int32
+		parPos   [2][]int32
+		child    [2]int
+		leaf     bool
+	}
+	nodes := make([]*bnode, nn)
+
+	ex.For(nn, func(id int) {
+		nd := &t.Nodes[id]
+		st := &bnode{leaf: nd.IsLeaf(), child: nd.Children}
+		if st.leaf {
+			st.u = append([]int(nil), nd.B...)
+		} else {
+			st.u = unionSorted(nd.S, nd.B)
+		}
+		st.uIdx = indexOf(st.u)
+		if st.leaf {
+			// Full closure of the O(1)-size leaf subgraph, then restrict.
+			idx := indexOf(nd.V)
+			adj := bitmat.New(len(nd.V))
+			for i, v := range nd.V {
+				g.Out(v, func(to int, _ float64) bool {
+					if j, ok := idx[to]; ok {
+						adj.Set(i, j, true)
+					}
+					return true
+				})
+			}
+			cl := bitmat.Closure(adj, nil, cfg.Stats)
+			st.m = bitmat.New(len(st.u))
+			for i, a := range st.u {
+				for j, b := range st.u {
+					st.m.Set(i, j, cl.Get(idx[a], idx[b]))
+				}
+			}
+		} else {
+			st.m = bitmat.Identity(len(st.u))
+			for i, a := range st.u {
+				g.Out(a, func(to int, _ float64) bool {
+					if j, ok := st.uIdx[to]; ok {
+						st.m.Set(i, j, true)
+					}
+					return true
+				})
+			}
+		}
+		nodes[id] = st
+	})
+	maxU := 1
+	for id := range nodes {
+		st := nodes[id]
+		if len(st.u) > maxU {
+			maxU = len(st.u)
+		}
+		if st.leaf {
+			continue
+		}
+		for ci := 0; ci < 2; ci++ {
+			cs := nodes[st.child[ci]]
+			for cp, v := range cs.u {
+				if pp, ok := st.uIdx[v]; ok {
+					st.childPos[ci] = append(st.childPos[ci], int32(cp))
+					st.parPos[ci] = append(st.parPos[ci], int32(pp))
+				}
+			}
+		}
+	}
+	cfg.Stats.AddRounds(int64(ceilLog2(t.MaxLeafSize()) + 1))
+
+	// As in the min-plus Alg43, the pull is split into a read-only
+	// collection barrier and a write-only application barrier (EREW).
+	staged := make([][][2]int32, nn)
+	iters := 2*ceilLog2(t.N()) + 2*t.Height + 2
+	for it := 0; it < iters; it++ {
+		var changed atomic.Bool
+		ex.For(nn, func(id int) {
+			st := nodes[id]
+			prod := bitmat.Mul(st.m, st.m, cfg.ex(), cfg.Stats)
+			prod.OrInPlace(st.m)
+			if !prod.Equal(st.m) {
+				changed.Store(true)
+			}
+			st.m = prod
+		})
+		ex.For(nn, func(id int) {
+			st := nodes[id]
+			buf := staged[id][:0]
+			if !st.leaf {
+				for ci := 0; ci < 2; ci++ {
+					cm := nodes[st.child[ci]].m
+					cps, pps := st.childPos[ci], st.parPos[ci]
+					var work int64
+					for a := range cps {
+						for b := range cps {
+							if cm.Get(int(cps[a]), int(cps[b])) && !st.m.Get(int(pps[a]), int(pps[b])) {
+								buf = append(buf, [2]int32{pps[a], pps[b]})
+							}
+						}
+						work += int64(len(cps))
+					}
+					cfg.Stats.AddWork(work)
+				}
+			}
+			staged[id] = buf
+		})
+		ex.For(nn, func(id int) {
+			st := nodes[id]
+			for _, p := range staged[id] {
+				if !st.m.Get(int(p[0]), int(p[1])) {
+					st.m.Set(int(p[0]), int(p[1]), true)
+					changed.Store(true)
+				}
+			}
+		})
+		cfg.Stats.AddRounds(int64(ceilLog2(maxU)) + 2)
+		if !changed.Load() {
+			break
+		}
+	}
+
+	out := newCollector()
+	for id, st := range nodes {
+		nd := &t.Nodes[id]
+		emit := func(set []int) {
+			for _, a := range set {
+				i := st.uIdx[a]
+				for _, b := range set {
+					if a != b && st.m.Get(i, st.uIdx[b]) {
+						out.add(a, b, 0)
+					}
+				}
+			}
+		}
+		emit(nd.S)
+		emit(nd.B)
+	}
+	return out.result(), nil
+}

@@ -1,0 +1,112 @@
+package augment
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"sepsp/internal/graph"
+	"sepsp/internal/graph/gen"
+	"sepsp/internal/pram"
+	"sepsp/internal/separator"
+)
+
+func TestReach41MatchesReach43(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 10 + rng.Intn(80)
+		g := gen.RandomDigraph(n, 2*n+rng.Intn(n), gen.UnitWeights(), rng)
+		sk := graph.NewSkeleton(g)
+		tree, err := separator.Build(sk, &separator.BFSFinder{}, separator.Options{LeafSize: 4 + rng.Intn(5)})
+		if err != nil {
+			t.Errorf("Build: %v", err)
+			return false
+		}
+		r41, err := Reach41(g, tree, Config{})
+		if err != nil {
+			t.Errorf("Reach41: %v", err)
+			return false
+		}
+		r43, err := Reach43(g, tree, Config{})
+		if err != nil {
+			t.Errorf("Reach43: %v", err)
+			return false
+		}
+		if len(r41.Edges) != len(r43.Edges) {
+			t.Errorf("seed=%d: edge counts differ: %d vs %d", seed, len(r41.Edges), len(r43.Edges))
+			return false
+		}
+		set := make(map[int64]bool, len(r43.Edges))
+		for _, e := range r43.Edges {
+			set[pairKey(e.From, e.To)] = true
+		}
+		for _, e := range r41.Edges {
+			if !set[pairKey(e.From, e.To)] {
+				t.Errorf("seed=%d: pair (%d,%d) only in Reach41", seed, e.From, e.To)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReach41OnDirectedGrid(t *testing.T) {
+	// Acyclic-ish grid where reachability is a strict partial order.
+	rng := rand.New(rand.NewSource(2))
+	grid := gen.NewGrid([]int{8, 8}, gen.UnitWeights(), rng)
+	b := graph.NewBuilder(grid.G.N())
+	grid.G.Edges(func(from, to int, w float64) bool {
+		if from < to { // keep only "increasing" directions: a DAG
+			b.AddEdge(from, to, w)
+		}
+		return true
+	})
+	g := b.Build()
+	sk := graph.NewSkeleton(g)
+	tree, err := separator.Build(sk, &separator.CoordinateFinder{Coord: grid.Coord}, separator.Options{LeafSize: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Reach41(g, tree, Config{Ex: pram.NewExecutor(4)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reach := reachabilityRef(g)
+	for _, e := range res.Edges {
+		if !reach[e.From][e.To] {
+			t.Fatalf("false shortcut (%d,%d)", e.From, e.To)
+		}
+	}
+	// Completeness at the root: reachable separator pairs must all appear.
+	em := make(map[int64]bool)
+	for _, e := range res.Edges {
+		em[pairKey(e.From, e.To)] = true
+	}
+	for _, u := range tree.Root().S {
+		for _, v := range tree.Root().S {
+			if u != v && reach[u][v] && !em[pairKey(u, v)] {
+				t.Fatalf("missing root pair (%d,%d)", u, v)
+			}
+		}
+	}
+}
+
+func TestReach41WorkCounted(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := gen.RandomDigraph(60, 150, gen.UnitWeights(), rng)
+	sk := graph.NewSkeleton(g)
+	tree, err := separator.Build(sk, &separator.BFSFinder{}, separator.Options{LeafSize: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := &pram.Stats{}
+	if _, err := Reach41(g, tree, Config{Stats: st}); err != nil {
+		t.Fatal(err)
+	}
+	if st.Work() == 0 || st.Rounds() == 0 {
+		t.Fatalf("stats empty: %d/%d", st.Work(), st.Rounds())
+	}
+}

@@ -1,0 +1,117 @@
+package augment
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"sepsp/internal/graph"
+	"sepsp/internal/graph/gen"
+	"sepsp/internal/separator"
+)
+
+func TestIncrementalMatchesFullRebuild(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		w, h := 4+rng.Intn(6), 4+rng.Intn(6)
+		grid := gen.NewGrid([]int{w, h}, gen.UniformWeights(1, 5), rng)
+		sk := graph.NewSkeleton(grid.G)
+		tree, err := separator.Build(sk, &separator.CoordinateFinder{Coord: grid.Coord}, separator.Options{LeafSize: 4})
+		if err != nil {
+			t.Errorf("Build: %v", err)
+			return false
+		}
+		inc, err := NewIncremental(grid.G, tree, Config{})
+		if err != nil {
+			t.Errorf("NewIncremental: %v", err)
+			return false
+		}
+		// Initial state must match a plain Alg41 run.
+		full, err := Alg41(grid.G, tree, Config{})
+		if err != nil {
+			t.Errorf("Alg41: %v", err)
+			return false
+		}
+		if !sameEdgeMap(t, inc.Result().Edges, full.Edges) {
+			t.Errorf("seed=%d: initial incremental state differs", seed)
+			return false
+		}
+		// Change the weights of a few random edges and update.
+		edges := grid.G.EdgeList()
+		var changed [][2]int
+		for k := 0; k < 3; k++ {
+			i := rng.Intn(len(edges))
+			edges[i].W = 1 + 5*rng.Float64()
+			changed = append(changed, [2]int{edges[i].From, edges[i].To})
+		}
+		newG := graph.FromEdges(grid.G.N(), edges)
+		if err := inc.Update(newG, changed); err != nil {
+			t.Errorf("Update: %v", err)
+			return false
+		}
+		full2, err := Alg41(newG, tree, Config{})
+		if err != nil {
+			t.Errorf("Alg41 rebuild: %v", err)
+			return false
+		}
+		if !sameEdgeMap(t, inc.Result().Edges, full2.Edges) {
+			t.Errorf("seed=%d: incremental state differs after update", seed)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIncrementalDirtySetIsSmall(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	grid := gen.NewGrid([]int{32, 32}, gen.UniformWeights(1, 2), rng)
+	sk := graph.NewSkeleton(grid.G)
+	tree, err := separator.Build(sk, &separator.CoordinateFinder{Coord: grid.Coord}, separator.Options{LeafSize: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inc, err := NewIncremental(grid.G, tree, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One changed edge dirties at most the nodes on the duplicated
+	// root-paths of its endpoints: O(d_G), far below the node count.
+	u := grid.Index([]int{3, 3})
+	v := grid.Index([]int{3, 4})
+	dirty := inc.DirtyCount([][2]int{{u, v}})
+	if dirty > 2*(tree.Height+1) {
+		t.Fatalf("dirty=%d exceeds 2(d_G+1)=%d", dirty, 2*(tree.Height+1))
+	}
+	if dirty >= inc.NodeCount()/4 {
+		t.Fatalf("dirty=%d not small vs %d nodes", dirty, inc.NodeCount())
+	}
+}
+
+func TestIncrementalDetectsNewNegativeCycle(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	grid := gen.NewGrid([]int{6, 6}, gen.UniformWeights(1, 2), rng)
+	sk := graph.NewSkeleton(grid.G)
+	tree, err := separator.Build(sk, &separator.CoordinateFinder{Coord: grid.Coord}, separator.Options{LeafSize: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inc, err := NewIncremental(grid.G, tree, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Make one antiparallel pair strongly negative.
+	edges := grid.G.EdgeList()
+	u, v := grid.Index([]int{2, 2}), grid.Index([]int{2, 3})
+	for i := range edges {
+		if edges[i].From == u && edges[i].To == v {
+			edges[i].W = -10
+		}
+	}
+	newG := graph.FromEdges(grid.G.N(), edges)
+	if err := inc.Update(newG, [][2]int{{u, v}}); err == nil {
+		t.Fatal("negative cycle introduced by update not detected")
+	}
+}

@@ -1,0 +1,160 @@
+package augment
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"sepsp/internal/separator"
+)
+
+func TestRightShortcutsPaperFigure(t *testing.T) {
+	// A bitonic-ish level sequence similar to the paper's Figure 2: the
+	// chain must reach the end, and each hop must satisfy one of the three
+	// Proposition 3.2 conditions.
+	levels := []int{3, 5, 4, 5, 3, 2, 4, 4, 2, 1, 3, 2, 4, 3, 5, 5}
+	rs := RightShortcuts(levels)
+	for j, k := range rs {
+		if k < 0 {
+			continue
+		}
+		if k <= j {
+			t.Fatalf("shortcut at %d goes backwards to %d", j, k)
+		}
+		checkProp32(t, levels, j, k)
+	}
+	chain, err := ShortcutChain(levels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if chain[0] != 0 || chain[len(chain)-1] != len(levels)-1 {
+		t.Fatalf("chain endpoints wrong: %v", chain)
+	}
+}
+
+// checkProp32 verifies that the subpath j..k satisfies one of the three
+// shortcut conditions of Proposition 3.2.
+func checkProp32(t *testing.T, levels []int, j, k int) {
+	t.Helper()
+	lj, lk := levels[j], levels[k]
+	// (i) equal endpoints, interior (inclusive) >= level
+	if lj == lk {
+		ok := true
+		for i := j; i <= k; i++ {
+			if levels[i] < lj {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return
+		}
+	}
+	// (ii) descending: strict interior > lj, lk < lj
+	if lk < lj {
+		ok := true
+		for i := j + 1; i < k; i++ {
+			if levels[i] <= lj {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return
+		}
+	}
+	// (iii) ascending: strict interior > lk, lj < lk
+	if lj < lk {
+		ok := true
+		for i := j + 1; i < k; i++ {
+			if levels[i] <= lk {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return
+		}
+	}
+	t.Fatalf("hop %d->%d (levels %d->%d) satisfies no Proposition 3.2 condition in %v",
+		j, k, lj, lk, levels)
+}
+
+func TestShortcutChainRandomSequences(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r := 2 + rng.Intn(40)
+		maxLevel := 1 + rng.Intn(8)
+		levels := make([]int, r)
+		for i := range levels {
+			levels[i] = rng.Intn(maxLevel + 1)
+		}
+		rs := RightShortcuts(levels)
+		for j, k := range rs {
+			if k < 0 {
+				continue
+			}
+			checkProp32(t, levels, j, k)
+		}
+		chain, err := ShortcutChain(levels)
+		if err != nil {
+			t.Errorf("seed %d levels %v: %v", seed, levels, err)
+			return false
+		}
+		return len(chain) <= 4*(maxLevel+1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShortcutChainWithUndefinedEnds(t *testing.T) {
+	u := separator.LevelUndef
+	levels := []int{u, u, 2, 3, 1, 3, 2, u}
+	chain, err := ShortcutChain(levels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if chain[0] != 2 || chain[len(chain)-1] != 6 {
+		t.Fatalf("chain %v should span defined positions 2..6", chain)
+	}
+}
+
+func TestShortcutChainAllUndefined(t *testing.T) {
+	u := separator.LevelUndef
+	chain, err := ShortcutChain([]int{u, u, u})
+	if err != nil || chain != nil {
+		t.Fatalf("want nil chain for leaf-only path, got %v, %v", chain, err)
+	}
+}
+
+func TestShortcutChainOnRealTreePaths(t *testing.T) {
+	// Take actual grid paths (rows of the grid) and the actual tree levels;
+	// the chain bound 4·d_G + 2 must hold.
+	g, tree := gridAndTree(t, []int{16, 16}, nil2unit(), 3, 4)
+	_ = g
+	for row := 0; row < 16; row += 5 {
+		var levels []int
+		for x := 0; x < 16; x++ {
+			levels = append(levels, tree.Level(row*16+x)) // NOTE: index layout x*h+y? see below
+		}
+		if _, err := ShortcutChain(levels); err != nil {
+			t.Fatalf("row %d: %v", row, err)
+		}
+	}
+	if tree.Height <= 0 {
+		t.Fatal("tree has no height")
+	}
+}
+
+func nil2unit() func(*rand.Rand, int, int) float64 {
+	return func(*rand.Rand, int, int) float64 { return 1 }
+}
+
+func TestDiameterBoundFormula(t *testing.T) {
+	_, tree := gridAndTree(t, []int{9, 9}, nil2unit(), 1, 5)
+	want := 4*tree.Height + 2*(tree.MaxLeafSize()-1) + 1
+	if DiameterBound(tree) != want {
+		t.Fatalf("DiameterBound=%d want %d", DiameterBound(tree), want)
+	}
+}

@@ -1,0 +1,336 @@
+// Package baseline implements the classical algorithms the paper compares
+// against (Section 1, "Previous Work", and the sequential bounds quoted in
+// the introduction):
+//
+//   - Dijkstra with a binary heap — per-source O(m log n), nonnegative
+//     weights only;
+//   - Bellman-Ford — per-source O(mn), handles negative weights, detects
+//     negative cycles; also the parallel phase-synchronous version of
+//     Section 2.2 whose phase count is diam(G);
+//   - Johnson — s sources with real weights in O(mn + s·m log n), the
+//     "best known sequential bound" baseline of the introduction;
+//   - Floyd-Warshall and min-plus repeated squaring — the dense APSP
+//     methods whose O(n³)/O(n³ log n) work is the transitive-closure
+//     bottleneck the paper is designed to beat.
+//
+// All algorithms count work into an optional *pram.Stats with the same unit
+// (one relaxation / triple op) as the separator engine, so comparisons in
+// EXPERIMENTS.md are apples-to-apples.
+package baseline
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+	"math/bits"
+
+	"sepsp/internal/graph"
+	"sepsp/internal/matrix"
+	"sepsp/internal/pram"
+)
+
+// ErrNegativeCycle reports a negative-weight cycle.
+var ErrNegativeCycle = errors.New("baseline: negative-weight cycle detected")
+
+// ErrNegativeEdge is returned by Dijkstra when it encounters a negative
+// edge weight.
+var ErrNegativeEdge = errors.New("baseline: negative edge weight (Dijkstra requires nonnegative weights)")
+
+type heapItem struct {
+	v    int
+	dist float64
+}
+
+type minHeap []heapItem
+
+func (h minHeap) Len() int            { return len(h) }
+func (h minHeap) Less(i, j int) bool  { return h[i].dist < h[j].dist }
+func (h minHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *minHeap) Push(x interface{}) { *h = append(*h, x.(heapItem)) }
+func (h *minHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// Dijkstra computes single-source distances with a binary heap (lazy
+// deletion). Weights must be nonnegative. Work: one unit per edge scan plus
+// ⌈log2 n⌉ units per heap push, so the counted total reflects the
+// O(m log n) bound rather than just the edge scans.
+func Dijkstra(g *graph.Digraph, src int, st *pram.Stats) ([]float64, error) {
+	heapCost := int64(bits.Len(uint(g.N())))
+	dist := newDist(g.N())
+	dist[src] = 0
+	h := &minHeap{{src, 0}}
+	settled := make([]bool, g.N())
+	for h.Len() > 0 {
+		it := heap.Pop(h).(heapItem)
+		if settled[it.v] || it.dist > dist[it.v] {
+			continue
+		}
+		settled[it.v] = true
+		var negErr error
+		g.Out(it.v, func(to int, w float64) bool {
+			if w < 0 {
+				negErr = fmt.Errorf("%w: edge (%d,%d) weight %v", ErrNegativeEdge, it.v, to, w)
+				return false
+			}
+			st.AddWork(1)
+			if nd := it.dist + w; nd < dist[to] {
+				dist[to] = nd
+				heap.Push(h, heapItem{to, nd})
+				st.AddWork(heapCost)
+			}
+			return true
+		})
+		if negErr != nil {
+			return nil, negErr
+		}
+	}
+	return dist, nil
+}
+
+// BellmanFord computes single-source distances with the classical
+// edge-relaxation algorithm; it runs at most n phases and returns
+// ErrNegativeCycle if the n-th phase still improves a distance reachable
+// from src.
+func BellmanFord(g *graph.Digraph, src int, st *pram.Stats) ([]float64, error) {
+	dist := newDist(g.N())
+	dist[src] = 0
+	return bfCore(g, dist, st)
+}
+
+// BellmanFordFrom runs Bellman-Ford from an arbitrary initial distance
+// vector (the virtual super-source formulation used by difference
+// constraints).
+func BellmanFordFrom(g *graph.Digraph, init []float64, st *pram.Stats) ([]float64, error) {
+	dist := make([]float64, len(init))
+	copy(dist, init)
+	return bfCore(g, dist, st)
+}
+
+func bfCore(g *graph.Digraph, dist []float64, st *pram.Stats) ([]float64, error) {
+	edges := g.EdgeList()
+	n := g.N()
+	for phase := 0; phase < n; phase++ {
+		changed := false
+		for _, e := range edges {
+			if du := dist[e.From]; du+e.W < dist[e.To] {
+				dist[e.To] = du + e.W
+				changed = true
+			}
+		}
+		st.AddWork(int64(len(edges)))
+		st.AddRounds(1)
+		if !changed {
+			return dist, nil
+		}
+	}
+	// One more pass: any improvement proves a reachable negative cycle.
+	for _, e := range edges {
+		if du := dist[e.From]; du+e.W < dist[e.To] {
+			return nil, ErrNegativeCycle
+		}
+	}
+	return dist, nil
+}
+
+// ParallelBellmanFord is the phase-synchronous Bellman-Ford of Section 2.2:
+// each phase relaxes every edge in one parallel round, so the phase count
+// equals the minimum-weight diameter of the graph (plus one detection
+// phase). It returns the distances and the number of phases executed.
+func ParallelBellmanFord(g *graph.Digraph, src int, ex *pram.Executor, st *pram.Stats) ([]float64, int, error) {
+	if ex == nil {
+		ex = pram.Sequential
+	}
+	n := g.N()
+	cur := newDist(n)
+	cur[src] = 0
+	next := make([]float64, n)
+	phases := 0
+	for phase := 0; phase <= n; phase++ {
+		copy(next, cur)
+		// Relax into next by scanning in-edges per vertex: EREW-friendly
+		// (each goroutine owns a disjoint range of target vertices).
+		ex.ForChunked(n, func(lo, hi int) {
+			var work int64
+			for v := lo; v < hi; v++ {
+				best := next[v]
+				g.In(v, func(from int, w float64) bool {
+					work++
+					if d := cur[from] + w; d < best {
+						best = d
+					}
+					return true
+				})
+				next[v] = best
+			}
+			st.AddWork(work)
+		})
+		st.AddRounds(1)
+		changed := false
+		for v := 0; v < n; v++ {
+			if next[v] != cur[v] && !(math.IsInf(next[v], 1) && math.IsInf(cur[v], 1)) {
+				changed = true
+				break
+			}
+		}
+		cur, next = next, cur
+		if !changed {
+			return cur, phases, nil
+		}
+		phases++
+	}
+	return nil, phases, ErrNegativeCycle
+}
+
+// Johnson computes distances from each source in srcs on a graph with real
+// (possibly negative) weights: one Bellman-Ford from a virtual super-source
+// establishes potentials, then one Dijkstra per source on the reweighted
+// graph. This is the O(mn + n² log n)-per-n-sources bound the introduction
+// cites as the best sequential method for general digraphs.
+func Johnson(g *graph.Digraph, srcs []int, ex *pram.Executor, st *pram.Stats) ([][]float64, error) {
+	if ex == nil {
+		ex = pram.Sequential
+	}
+	zero := make([]float64, g.N()) // all-zero init == super-source
+	pot, err := BellmanFordFrom(g, zero, st)
+	if err != nil {
+		return nil, err
+	}
+	b := graph.NewBuilder(g.N())
+	g.Edges(func(from, to int, w float64) bool {
+		b.AddEdge(from, to, w+pot[from]-pot[to])
+		return true
+	})
+	rg := b.Build()
+	out := make([][]float64, len(srcs))
+	errs := make([]error, len(srcs))
+	stats := make([]*pram.Stats, len(srcs))
+	for i := range stats {
+		stats[i] = &pram.Stats{}
+	}
+	ex.For(len(srcs), func(i int) {
+		d, err := Dijkstra(rg, srcs[i], stats[i])
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		src := srcs[i]
+		for v := range d {
+			d[v] += pot[v] - pot[src] // undo the reweighting
+		}
+		out[i] = d
+	})
+	for _, e := range errs {
+		if e != nil {
+			return nil, e
+		}
+	}
+	var maxRounds int64
+	for _, s := range stats {
+		st.AddWork(s.Work())
+		if s.Rounds() > maxRounds {
+			maxRounds = s.Rounds()
+		}
+	}
+	st.AddRounds(maxRounds)
+	return out, nil
+}
+
+// FindNegativeCycle returns the vertices of some negative-weight cycle in
+// g, or (nil, false) if none exists. It runs the super-source Bellman-Ford
+// with predecessor tracking; when the n-th phase still relaxes an edge, the
+// predecessor walk from that edge's tail is trapped in a negative cycle,
+// which is extracted by cycle-finding on the predecessor pointers. The
+// separator engine only *detects* negative cycles (paper comment (i)); this
+// baseline supplies the witness when callers need one.
+func FindNegativeCycle(g *graph.Digraph, st *pram.Stats) ([]int, bool) {
+	n := g.N()
+	dist := make([]float64, n) // all-zero init: super-source reaches all
+	pred := make([]int, n)
+	for i := range pred {
+		pred[i] = -1
+	}
+	edges := g.EdgeList()
+	var witness int = -1
+	for phase := 0; phase < n; phase++ {
+		changed := false
+		for _, e := range edges {
+			if du := dist[e.From]; du+e.W < dist[e.To] {
+				dist[e.To] = du + e.W
+				pred[e.To] = e.From
+				changed = true
+				if phase == n-1 {
+					witness = e.To
+				}
+			}
+		}
+		st.AddWork(int64(len(edges)))
+		if !changed {
+			return nil, false
+		}
+	}
+	if witness < 0 {
+		return nil, false
+	}
+	// Walk n predecessor steps to land inside the cycle, then trace it.
+	v := witness
+	for i := 0; i < n; i++ {
+		v = pred[v]
+	}
+	var cycle []int
+	for u := v; ; u = pred[u] {
+		cycle = append(cycle, u)
+		if u == v && len(cycle) > 1 {
+			break
+		}
+	}
+	cycle = cycle[:len(cycle)-1] // drop the repeated start
+	for i, j := 0, len(cycle)-1; i < j; i, j = i+1, j-1 {
+		cycle[i], cycle[j] = cycle[j], cycle[i] // predecessor order → edge order
+	}
+	return cycle, true
+}
+
+// FloydWarshallAPSP computes all-pairs distances as a dense matrix.
+func FloydWarshallAPSP(g *graph.Digraph, st *pram.Stats) (*matrix.Dense, error) {
+	d := denseFromGraph(g)
+	if err := matrix.FloydWarshall(d, pram.Sequential, st); err != nil {
+		return nil, ErrNegativeCycle
+	}
+	return d, nil
+}
+
+// MinPlusDoublingAPSP computes all-pairs distances by repeated min-plus
+// squaring — the generic NC shortest-path method whose O(n³ log n) work is
+// the transitive-closure bottleneck (Section 1).
+func MinPlusDoublingAPSP(g *graph.Digraph, ex *pram.Executor, st *pram.Stats) (*matrix.Dense, error) {
+	d := denseFromGraph(g)
+	if err := matrix.Closure(d, ex, st); err != nil {
+		return nil, ErrNegativeCycle
+	}
+	st.AddRounds(matrix.MulRounds(g.N()) * matrix.MulRounds(g.N()))
+	return d, nil
+}
+
+func denseFromGraph(g *graph.Digraph) *matrix.Dense {
+	d := matrix.NewSquare(g.N())
+	g.Edges(func(from, to int, w float64) bool {
+		d.SetMin(from, to, w)
+		return true
+	})
+	return d
+}
+
+func newDist(n int) []float64 {
+	d := make([]float64, n)
+	inf := math.Inf(1)
+	for i := range d {
+		d[i] = inf
+	}
+	return d
+}

@@ -1,0 +1,197 @@
+package baseline
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"sepsp/internal/graph"
+	"sepsp/internal/graph/gen"
+	"sepsp/internal/pram"
+)
+
+func almost(a, b float64) bool {
+	if math.IsInf(a, 1) || math.IsInf(b, 1) {
+		return math.IsInf(a, 1) && math.IsInf(b, 1)
+	}
+	return math.Abs(a-b) <= 1e-9*(1+math.Max(math.Abs(a), math.Abs(b)))
+}
+
+func TestDijkstraMatchesBellmanFord(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(40)
+		g := gen.RandomDigraph(n, 4*n, gen.UniformWeights(0, 10), rng)
+		src := rng.Intn(n)
+		d1, err := Dijkstra(g, src, nil)
+		if err != nil {
+			t.Errorf("Dijkstra: %v", err)
+			return false
+		}
+		d2, err := BellmanFord(g, src, nil)
+		if err != nil {
+			t.Errorf("BellmanFord: %v", err)
+			return false
+		}
+		for v := range d1 {
+			if !almost(d1[v], d2[v]) {
+				t.Errorf("v=%d: dijkstra %v bf %v", v, d1[v], d2[v])
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDijkstraRejectsNegativeEdges(t *testing.T) {
+	b := graph.NewBuilder(2)
+	b.AddEdge(0, 1, -1)
+	if _, err := Dijkstra(b.Build(), 0, nil); !errors.Is(err, ErrNegativeEdge) {
+		t.Fatalf("want ErrNegativeEdge, got %v", err)
+	}
+}
+
+func TestBellmanFordNegativeCycle(t *testing.T) {
+	b := graph.NewBuilder(3)
+	b.AddEdge(0, 1, 1)
+	b.AddEdge(1, 2, -5)
+	b.AddEdge(2, 1, 1)
+	if _, err := BellmanFord(b.Build(), 0, nil); !errors.Is(err, ErrNegativeCycle) {
+		t.Fatalf("want ErrNegativeCycle, got %v", err)
+	}
+	// Unreachable negative cycle: distances from 1's component are fine,
+	// but the super-source formulation must still reject.
+	b2 := graph.NewBuilder(4)
+	b2.AddEdge(0, 1, 1)
+	b2.AddEdge(2, 3, -5)
+	b2.AddEdge(3, 2, 1)
+	if _, err := BellmanFord(b2.Build(), 0, nil); err != nil {
+		t.Fatalf("negative cycle unreachable from source should not error: %v", err)
+	}
+	zero := make([]float64, 4)
+	if _, err := BellmanFordFrom(b2.Build(), zero, nil); !errors.Is(err, ErrNegativeCycle) {
+		t.Fatalf("super-source must detect: %v", err)
+	}
+}
+
+func TestParallelBellmanFordMatchesAndCountsPhases(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	grid := gen.NewGrid([]int{10, 10}, gen.UniformWeights(1, 2), rng)
+	for _, p := range []int{1, 4} {
+		d, phases, err := ParallelBellmanFord(grid.G, 0, pram.NewExecutor(p), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, _ := BellmanFord(grid.G, 0, nil)
+		for v := range want {
+			if !almost(d[v], want[v]) {
+				t.Fatalf("p=%d v=%d: %v vs %v", p, v, d[v], want[v])
+			}
+		}
+		// Phase count is bounded by the hop length of the longest shortest
+		// path, which on a 10×10 grid is at most 18 (+ slack for weights).
+		if phases < 5 || phases > 100 {
+			t.Fatalf("suspicious phase count %d", phases)
+		}
+	}
+}
+
+func TestParallelBellmanFordNegativeCycle(t *testing.T) {
+	b := graph.NewBuilder(3)
+	b.AddEdge(0, 1, 1)
+	b.AddEdge(1, 2, -5)
+	b.AddEdge(2, 1, 1)
+	if _, _, err := ParallelBellmanFord(b.Build(), 0, nil, nil); !errors.Is(err, ErrNegativeCycle) {
+		t.Fatalf("want ErrNegativeCycle, got %v", err)
+	}
+}
+
+func TestJohnsonWithNegativeWeights(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		grid := gen.NewGrid([]int{5, 6}, gen.UniformWeights(0, 4), rng)
+		g, _ := gen.PotentialShift(grid.G, 10, rng)
+		srcs := []int{0, 7, 29}
+		got, err := Johnson(g, srcs, pram.NewExecutor(2), nil)
+		if err != nil {
+			t.Errorf("Johnson: %v", err)
+			return false
+		}
+		for i, src := range srcs {
+			want, err := BellmanFord(g, src, nil)
+			if err != nil {
+				t.Errorf("BF: %v", err)
+				return false
+			}
+			for v := range want {
+				if !almost(got[i][v], want[v]) {
+					t.Errorf("src=%d v=%d: johnson %v bf %v", src, v, got[i][v], want[v])
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJohnsonDetectsNegativeCycle(t *testing.T) {
+	b := graph.NewBuilder(2)
+	b.AddEdge(0, 1, -1)
+	b.AddEdge(1, 0, -1)
+	if _, err := Johnson(b.Build(), []int{0}, nil, nil); !errors.Is(err, ErrNegativeCycle) {
+		t.Fatalf("want ErrNegativeCycle, got %v", err)
+	}
+}
+
+func TestAPSPMethodsAgree(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(25)
+		g := gen.RandomDigraph(n, 3*n, gen.UniformWeights(0.1, 5), rng)
+		fw, err := FloydWarshallAPSP(g, nil)
+		if err != nil {
+			return false
+		}
+		sq, err := MinPlusDoublingAPSP(g, pram.NewExecutor(2), nil)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if !almost(fw.At(i, j), sq.At(i, j)) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWorkCountersPopulated(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	g := gen.RandomDigraph(30, 120, gen.UniformWeights(0, 1), rng)
+	st1, st2 := &pram.Stats{}, &pram.Stats{}
+	if _, err := Dijkstra(g, 0, st1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := BellmanFord(g, 0, st2); err != nil {
+		t.Fatal(err)
+	}
+	if st1.Work() == 0 || st2.Work() == 0 {
+		t.Fatal("work counters empty")
+	}
+	if st2.Work() < st1.Work() {
+		t.Fatalf("Bellman-Ford (%d) should cost at least Dijkstra (%d) here", st2.Work(), st1.Work())
+	}
+}

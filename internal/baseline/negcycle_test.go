@@ -1,0 +1,71 @@
+package baseline
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"sepsp/internal/graph"
+	"sepsp/internal/graph/gen"
+)
+
+// cycleWeight sums the weights along the returned cycle (which must use
+// actual edges of g).
+func cycleWeight(t *testing.T, g *graph.Digraph, cycle []int) float64 {
+	t.Helper()
+	total := 0.0
+	for i := range cycle {
+		u, v := cycle[i], cycle[(i+1)%len(cycle)]
+		w, ok := g.HasEdge(u, v)
+		if !ok {
+			t.Fatalf("cycle edge (%d,%d) not in graph", u, v)
+		}
+		total += w
+	}
+	return total
+}
+
+func TestFindNegativeCyclePlanted(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		grid := gen.NewGrid([]int{5, 5}, gen.UniformWeights(0.5, 2), rng)
+		planted, _ := gen.PlantNegativeCycle(grid.G, 3+rng.Intn(5), rng)
+		cycle, found := FindNegativeCycle(planted, nil)
+		if !found {
+			t.Errorf("seed=%d: planted cycle not found", seed)
+			return false
+		}
+		if w := cycleWeight(t, planted, cycle); w >= 0 {
+			t.Errorf("seed=%d: returned cycle has weight %v", seed, w)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFindNegativeCycleAbsent(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	grid := gen.NewGrid([]int{6, 6}, gen.UniformWeights(0, 2), rng)
+	shifted, _ := gen.PotentialShift(grid.G, 10, rng) // negative edges, no cycle
+	if _, found := FindNegativeCycle(shifted, nil); found {
+		t.Fatal("false positive on negative-edge graph without negative cycles")
+	}
+}
+
+func TestFindNegativeCycleTwoCycle(t *testing.T) {
+	b := graph.NewBuilder(3)
+	b.AddEdge(0, 1, 5)
+	b.AddEdge(1, 0, -6)
+	b.AddEdge(1, 2, 1)
+	g := b.Build()
+	cycle, found := FindNegativeCycle(g, nil)
+	if !found || len(cycle) != 2 {
+		t.Fatalf("cycle=%v found=%v", cycle, found)
+	}
+	if w := cycleWeight(t, g, cycle); w != -1 {
+		t.Fatalf("weight=%v", w)
+	}
+}

@@ -1,0 +1,114 @@
+package constraints
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"sepsp/internal/pram"
+	"sepsp/internal/separator"
+)
+
+func TestGridSystemFeasibleBothSolvers(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		w, h := 3+rng.Intn(6), 3+rng.Intn(6)
+		sys, coord := GridSystem(w, h, 5, rng)
+		bf, err := SolveBellmanFord(sys, nil)
+		if err != nil {
+			t.Errorf("BF: %v", err)
+			return false
+		}
+		if err := sys.Check(bf, 1e-9); err != nil {
+			t.Errorf("BF solution invalid: %v", err)
+			return false
+		}
+		sep, err := SolveSeparator(sys, &separator.CoordinateFinder{Coord: coord}, nil, nil)
+		if err != nil {
+			t.Errorf("separator solve: %v", err)
+			return false
+		}
+		if err := sys.Check(sep, 1e-9); err != nil {
+			t.Errorf("separator solution invalid: %v", err)
+			return false
+		}
+		// Both compute the canonical (super-source) solution, so they agree.
+		for i := range bf {
+			if math.Abs(bf[i]-sep[i]) > 1e-9*(1+math.Abs(bf[i])) {
+				t.Errorf("solutions differ at %d: %v vs %v", i, bf[i], sep[i])
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNegativeSlackStillFeasible(t *testing.T) {
+	// Chain x0 <= x1 - 1 <= x2 - 2: negative constants, feasible.
+	sys := &System{NumVars: 3, Cons: []Constraint{
+		{I: 0, J: 1, C: -1},
+		{I: 1, J: 2, C: -1},
+	}}
+	sol, err := SolveSeparator(sys, nil, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Check(sol, 1e-9); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInfeasibleSystemDetected(t *testing.T) {
+	// x0 - x1 <= -1, x1 - x0 <= -1: contradiction.
+	sys := &System{NumVars: 2, Cons: []Constraint{
+		{I: 0, J: 1, C: -1},
+		{I: 1, J: 0, C: -1},
+	}}
+	if _, err := SolveBellmanFord(sys, nil); !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("BF: want ErrInfeasible, got %v", err)
+	}
+	if _, err := SolveSeparator(sys, nil, nil, nil); !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("separator: want ErrInfeasible, got %v", err)
+	}
+}
+
+func TestSolverReuse(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	sys, coord := GridSystem(6, 6, 3, rng)
+	sv, err := NewSolver(sys, &separator.CoordinateFinder{Coord: coord}, pram.NewExecutor(2), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := &pram.Stats{}
+	s1 := sv.Solve(st)
+	s2 := sv.Solve(st)
+	for i := range s1 {
+		if s1[i] != s2[i] {
+			t.Fatal("repeated solves disagree")
+		}
+	}
+	if err := sys.Check(s1, 1e-9); err != nil {
+		t.Fatal(err)
+	}
+	if st.Work() == 0 {
+		t.Fatal("no work counted")
+	}
+}
+
+func TestCheckRejectsBadSolution(t *testing.T) {
+	sys := &System{NumVars: 2, Cons: []Constraint{{I: 0, J: 1, C: 1}}}
+	if err := sys.Check([]float64{5, 0}, 1e-9); err == nil {
+		t.Fatal("expected violation")
+	}
+	if err := sys.Check([]float64{0}, 1e-9); err == nil {
+		t.Fatal("expected arity error")
+	}
+	if err := sys.Check([]float64{1, 0}, 1e-9); err != nil {
+		t.Fatalf("tight constraint should pass: %v", err)
+	}
+}

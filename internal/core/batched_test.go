@@ -1,0 +1,59 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"sepsp/internal/graph/gen"
+	"sepsp/internal/pram"
+)
+
+func TestSourcesBatchedMatchesSources(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		dims := []int{3 + rng.Intn(8), 3 + rng.Intn(8)}
+		eng, g := buildGridEngine(t, dims, gen.UniformWeights(0.1, 4), seed, Config{})
+		k := 1 + rng.Intn(6)
+		srcs := make([]int, k)
+		for i := range srcs {
+			srcs[i] = rng.Intn(g.N())
+		}
+		st1, st2 := &pram.Stats{}, &pram.Stats{}
+		a := eng.Sources(srcs, st1)
+		b := eng.SourcesBatched(srcs, st2)
+		for i := range srcs {
+			for v := range a[i] {
+				if a[i][v] != b[i][v] && !(almostEqual(a[i][v], b[i][v])) {
+					t.Errorf("seed=%d src=%d v=%d: %v vs %v", seed, srcs[i], v, a[i][v], b[i][v])
+					return false
+				}
+			}
+		}
+		if st1.Work() != st2.Work() {
+			t.Errorf("work accounting differs: %d vs %d", st1.Work(), st2.Work())
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSourcesBatchedEmpty(t *testing.T) {
+	eng, _ := buildGridEngine(t, []int{4, 4}, gen.UnitWeights(), 1, Config{})
+	if out := eng.SourcesBatched(nil, nil); out != nil {
+		t.Fatalf("want nil for empty sources, got %v", out)
+	}
+}
+
+func TestSourcesBatchedDuplicateSources(t *testing.T) {
+	eng, _ := buildGridEngine(t, []int{5, 5}, gen.UniformWeights(1, 2), 2, Config{})
+	rows := eng.SourcesBatched([]int{3, 3, 7}, nil)
+	for v := range rows[0] {
+		if rows[0][v] != rows[1][v] {
+			t.Fatal("duplicate sources must produce identical rows")
+		}
+	}
+}

@@ -1,0 +1,285 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"sepsp/internal/augment"
+	"sepsp/internal/graph"
+	"sepsp/internal/pram"
+	"sepsp/internal/separator"
+)
+
+// Algorithm selects the E+ construction strategy.
+type Algorithm int
+
+const (
+	// Alg41 is Algorithm 4.1: leaves-up, O(d_G·log² n) time, lower work.
+	Alg41 Algorithm = iota
+	// Alg43 is Algorithm 4.3: simultaneous path doubling, O(d_G·log n + log² n)
+	// time, an extra O(log n) factor of work.
+	Alg43
+)
+
+// Config configures engine construction.
+type Config struct {
+	// Ex is the parallel executor (nil: sequential).
+	Ex *pram.Executor
+	// Algorithm selects Alg41 (default) or Alg43.
+	Algorithm Algorithm
+	// UseFloydWarshall switches per-node closures in Alg41 to Floyd-Warshall
+	// (the sequential-work-optimal choice).
+	UseFloydWarshall bool
+	// PrepStats receives preprocessing work/round counts (nil discards).
+	PrepStats *pram.Stats
+}
+
+// Engine is a preprocessed shortest-path oracle for one digraph and one
+// separator decomposition tree. Construction computes E+ (and fails with
+// augment.ErrNegativeCycle if the graph has one); queries then answer
+// single-source problems in Schedule.Phases() Bellman-Ford phases.
+type Engine struct {
+	g        *graph.Digraph
+	tree     *separator.Tree
+	aug      *augment.Result
+	schedule *Schedule
+	ex       *pram.Executor
+}
+
+// NewEngine preprocesses g with the given decomposition tree.
+func NewEngine(g *graph.Digraph, tree *separator.Tree, cfg Config) (*Engine, error) {
+	ex := cfg.Ex
+	if ex == nil {
+		ex = pram.Sequential
+	}
+	acfg := augment.Config{Ex: ex, Stats: cfg.PrepStats, UseFloydWarshall: cfg.UseFloydWarshall}
+	var (
+		res *augment.Result
+		err error
+	)
+	switch cfg.Algorithm {
+	case Alg41:
+		res, err = augment.Alg41(g, tree, acfg)
+	case Alg43:
+		res, err = augment.Alg43(g, tree, acfg)
+	default:
+		return nil, fmt.Errorf("core: unknown algorithm %d", cfg.Algorithm)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return NewEngineFromParts(g, tree, res, ex), nil
+}
+
+// NewEngineFromParts assembles an engine from an already-computed
+// augmentation — the entry point for deserialized indexes and for
+// augment.Incremental users who repaired E+ in place. No recomputation or
+// negative-cycle check happens here; the parts are trusted.
+func NewEngineFromParts(g *graph.Digraph, tree *separator.Tree, res *augment.Result, ex *pram.Executor) *Engine {
+	if ex == nil {
+		ex = pram.Sequential
+	}
+	l := tree.MaxLeafSize() - 1
+	if l < 0 {
+		l = 0
+	}
+	return &Engine{
+		g:        g,
+		tree:     tree,
+		aug:      res,
+		schedule: NewSchedule(tree, g.EdgeList(), res.Edges, l),
+		ex:       ex,
+	}
+}
+
+// Graph returns the underlying digraph.
+func (e *Engine) Graph() *graph.Digraph { return e.g }
+
+// Tree returns the decomposition tree.
+func (e *Engine) Tree() *separator.Tree { return e.tree }
+
+// Augmentation returns the computed E+.
+func (e *Engine) Augmentation() *augment.Result { return e.aug }
+
+// Schedule returns the query phase schedule.
+func (e *Engine) Schedule() *Schedule { return e.schedule }
+
+// DiameterBound returns Theorem 3.1's bound on diam(G+).
+func (e *Engine) DiameterBound() int { return augment.DiameterBound(e.tree) }
+
+// SSSP computes distances from src to every vertex. st (optional) receives
+// the counted relaxation work and phase rounds.
+func (e *Engine) SSSP(src int, st *pram.Stats) []float64 {
+	init := newDistVector(e.g.N())
+	init[src] = 0
+	return e.SSSPFrom(init, st)
+}
+
+// SSSPFrom runs the scheduled Bellman-Ford from an arbitrary initial
+// distance vector (entries may be +Inf). This generality serves the
+// difference-constraint application (Section 1): a virtual super-source
+// with zero-weight edges to every vertex is exactly the all-zeros initial
+// vector, so no extra vertex — which would wreck the separator structure —
+// is needed.
+func (e *Engine) SSSPFrom(init []float64, st *pram.Stats) []float64 {
+	if len(init) != e.g.N() {
+		panic("core: initial vector size mismatch")
+	}
+	dist := make([]float64, len(init))
+	copy(dist, init)
+	e.schedule.Run(func(edges []graph.Edge) {
+		for _, ed := range edges {
+			if du := dist[ed.From]; du+ed.W < dist[ed.To] {
+				dist[ed.To] = du + ed.W
+			}
+		}
+		st.AddWork(int64(len(edges)))
+		st.AddRounds(1) // one phase; O(log n) EREW steps, see Section 2.2
+	})
+	return dist
+}
+
+// Sources computes SSSP from each source in parallel (one goroutine pool
+// round over the sources; counted work is the sum, counted rounds the
+// per-source phase count).
+func (e *Engine) Sources(srcs []int, st *pram.Stats) [][]float64 {
+	out := make([][]float64, len(srcs))
+	perSource := make([]*pram.Stats, len(srcs))
+	for i := range perSource {
+		perSource[i] = &pram.Stats{}
+	}
+	e.ex.For(len(srcs), func(i int) {
+		out[i] = e.SSSP(srcs[i], perSource[i])
+	})
+	var maxRounds int64
+	for _, ps := range perSource {
+		st.AddWork(ps.Work())
+		if ps.Rounds() > maxRounds {
+			maxRounds = ps.Rounds()
+		}
+	}
+	st.AddRounds(maxRounds)
+	return out
+}
+
+// SourcesBatched computes SSSP from k sources by relaxing all k distance
+// vectors during one shared sweep over each phase's edge bucket — the
+// cache-friendly formulation for moderate k (each edge is loaded once per
+// phase instead of once per source per phase). Results match Sources
+// exactly; counted work is identical (k relaxations per scanned edge).
+func (e *Engine) SourcesBatched(srcs []int, st *pram.Stats) [][]float64 {
+	k := len(srcs)
+	if k == 0 {
+		return nil
+	}
+	n := e.g.N()
+	// dist[v*k+j] = current distance of v from srcs[j].
+	dist := make([]float64, n*k)
+	inf := math.Inf(1)
+	for i := range dist {
+		dist[i] = inf
+	}
+	for j, s := range srcs {
+		dist[s*k+j] = 0
+	}
+	e.schedule.Run(func(edges []graph.Edge) {
+		for _, ed := range edges {
+			from := dist[ed.From*k : ed.From*k+k]
+			to := dist[ed.To*k : ed.To*k+k]
+			for j, du := range from {
+				if d := du + ed.W; d < to[j] {
+					to[j] = d
+				}
+			}
+		}
+		st.AddWork(int64(len(edges)) * int64(k))
+		st.AddRounds(1)
+	})
+	out := make([][]float64, k)
+	for j := range out {
+		row := make([]float64, n)
+		for v := 0; v < n; v++ {
+			row[v] = dist[v*k+j]
+		}
+		out[j] = row
+	}
+	return out
+}
+
+// SSSPTree computes distances from src plus a shortest-path tree in the
+// ORIGINAL graph: parent[v] is v's predecessor on a minimum-weight src→v
+// path using only edges of E (parent[src] = src, parent[unreachable] = -1).
+// Because the computed distances are exact G-distances, the tree is
+// recovered by a BFS over "tight" edges (dist[u] + w ≈ dist[v]) without any
+// witness bookkeeping in the preprocessing. Tightness uses a relative
+// tolerance to absorb floating-point reassociation between the shortcut
+// path and the original path.
+func (e *Engine) SSSPTree(src int, st *pram.Stats) (dist []float64, parent []int) {
+	dist = e.SSSP(src, st)
+	parent = TightTree(e.g, src, dist)
+	return dist, parent
+}
+
+// TightTree builds a shortest-path tree in g from exact distance values by
+// BFS over tight edges. Exported for reuse by baselines and applications.
+func TightTree(g *graph.Digraph, src int, dist []float64) []int {
+	parent := make([]int, g.N())
+	for i := range parent {
+		parent[i] = -1
+	}
+	parent[src] = src
+	queue := []int{src}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		du := dist[u]
+		g.Out(u, func(v int, w float64) bool {
+			if parent[v] == -1 && tight(du+w, dist[v]) {
+				parent[v] = u
+				queue = append(queue, v)
+			}
+			return true
+		})
+	}
+	return parent
+}
+
+// tight reports a ≈ b with relative tolerance 1e-9 (both finite).
+func tight(a, b float64) bool {
+	if math.IsInf(a, 1) || math.IsInf(b, 1) {
+		return false
+	}
+	diff := math.Abs(a - b)
+	scale := math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+	return diff <= 1e-9*scale
+}
+
+// PathTo extracts the src→dst vertex sequence from a parent array produced
+// by SSSPTree/TightTree. ok is false if dst is unreachable.
+func PathTo(parent []int, src, dst int) (path []int, ok bool) {
+	if parent[dst] == -1 {
+		return nil, false
+	}
+	for v := dst; ; v = parent[v] {
+		path = append(path, v)
+		if v == src {
+			break
+		}
+		if len(path) > len(parent) {
+			return nil, false // defensive: corrupt parent array
+		}
+	}
+	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+		path[i], path[j] = path[j], path[i]
+	}
+	return path, true
+}
+
+func newDistVector(n int) []float64 {
+	d := make([]float64, n)
+	inf := math.Inf(1)
+	for i := range d {
+		d[i] = inf
+	}
+	return d
+}

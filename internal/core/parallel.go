@@ -1,0 +1,62 @@
+package core
+
+import (
+	"math"
+	"sync/atomic"
+
+	"sepsp/internal/graph"
+	"sepsp/internal/pram"
+)
+
+// SSSPParallel runs the §3.2 scheduled query with every phase's relaxations
+// executed concurrently on the engine's executor — the within-phase
+// parallelism that realizes the paper's O((ℓ + d_G)·log n) query time (each
+// phase is one parallel round; the EREW min-combining contributes the log
+// factor the round counter charges).
+//
+// Concurrent relaxations use an atomic min on the distance cells (CAS on
+// the float bit pattern). Extra relaxations caused by same-phase visibility
+// can only move a cell closer to the true distance — every written value is
+// the weight of an actual path — so the result is exactly SSSP's.
+func (e *Engine) SSSPParallel(src int, st *pram.Stats) []float64 {
+	n := e.g.N()
+	cells := make([]uint64, n)
+	inf := math.Float64bits(math.Inf(1))
+	for i := range cells {
+		cells[i] = inf
+	}
+	cells[src] = math.Float64bits(0)
+	e.schedule.Run(func(edges []graph.Edge) {
+		e.ex.ForChunked(len(edges), func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				ed := edges[i]
+				du := math.Float64frombits(atomic.LoadUint64(&cells[ed.From]))
+				if math.IsInf(du, 1) {
+					continue
+				}
+				atomicMinFloat(&cells[ed.To], du+ed.W)
+			}
+		})
+		st.AddWork(int64(len(edges)))
+		st.AddRounds(1)
+	})
+	dist := make([]float64, n)
+	for i, c := range cells {
+		dist[i] = math.Float64frombits(c)
+	}
+	return dist
+}
+
+// atomicMinFloat lowers *addr (a float64 bit pattern) to v if v is smaller,
+// with a CAS retry loop; returns whether it wrote.
+func atomicMinFloat(addr *uint64, v float64) bool {
+	for {
+		old := atomic.LoadUint64(addr)
+		if v >= math.Float64frombits(old) {
+			return false
+		}
+		if atomic.CompareAndSwapUint64(addr, old, math.Float64bits(v)) {
+			return true
+		}
+	}
+}

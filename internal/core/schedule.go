@@ -1,0 +1,112 @@
+// Package core ties the pieces together into the paper's end-to-end engine:
+// preprocessing (separator tree → E+ via Algorithm 4.1 or 4.3) and the
+// per-source query of Section 3.2 — a Bellman-Ford that scans each edge
+// class only in the O(d_G) phases where the bitonic structure theorem says
+// it can still be useful, bringing per-source work down from
+// O(|E ∪ E+|·diam) to O(ℓ·|E| + |E ∪ E+|).
+package core
+
+import (
+	"sepsp/internal/graph"
+	"sepsp/internal/separator"
+)
+
+// Schedule is the precomputed phase structure of the Section 3.2 query. The
+// proof of Theorem 3.1 shows every distance is realized in G+ by a path of
+// the form
+//
+//	[≤ ℓ original edges] [bitonic shortcut chain] [≤ ℓ original edges]
+//
+// where the chain's vertex levels first never increase and then never
+// decrease, with at most two consecutive equal labels. The schedule
+// therefore relaxes:
+//
+//  1. all original edges, ℓ times;
+//  2. for L = d_G … 0: same-level-L edges, then descending edges leaving
+//     level L (level(from)=L > level(to));
+//  3. for L = 0 … d_G: ascending edges entering level L
+//     (level(to)=L > level(from)), then same-level-L edges;
+//  4. all original edges, ℓ times.
+//
+// (The printed schedule in the paper suffers OCR-garbled level arithmetic;
+// this is the equivalent bitonic ordering, see DESIGN.md.)
+type Schedule struct {
+	height int
+	l      int
+	eAll   []graph.Edge   // original edges, scanned in the ℓ-phases
+	same   [][]graph.Edge // same[L]: level(from) == level(to) == L
+	desc   [][]graph.Edge // desc[L]: level(from) == L > level(to)
+	asc    [][]graph.Edge // asc[L]:  level(to) == L > level(from)
+}
+
+// NewSchedule builds the phase buckets for the union of the original edges
+// and the shortcut edges. l is the ℓ of Theorem 3.1 (max leaf diameter);
+// levels come from the decomposition tree.
+func NewSchedule(t *separator.Tree, original, shortcuts []graph.Edge, l int) *Schedule {
+	s := &Schedule{
+		height: t.Height,
+		l:      l,
+		eAll:   original,
+		same:   make([][]graph.Edge, t.Height+1),
+		desc:   make([][]graph.Edge, t.Height+1),
+		asc:    make([][]graph.Edge, t.Height+1),
+	}
+	bucket := func(e graph.Edge) {
+		lu, lv := t.Level(e.From), t.Level(e.To)
+		if lu == separator.LevelUndef || lv == separator.LevelUndef {
+			// Only reachable through leaf-interior segments; the ℓ-phases
+			// of original edges cover these.
+			return
+		}
+		switch {
+		case lu == lv:
+			s.same[lu] = append(s.same[lu], e)
+		case lu > lv:
+			s.desc[lu] = append(s.desc[lu], e)
+		default:
+			s.asc[lv] = append(s.asc[lv], e)
+		}
+	}
+	for _, e := range original {
+		bucket(e)
+	}
+	for _, e := range shortcuts {
+		bucket(e)
+	}
+	return s
+}
+
+// Phases returns the total number of relaxation phases one query performs:
+// 2ℓ + 4(d_G + 1).
+func (s *Schedule) Phases() int { return 2*s.l + 4*(s.height+1) }
+
+// WorkPerSource returns the number of edge relaxations one query performs —
+// the quantity bounded by O(ℓ·|E| + |E ∪ E+|) in Section 3.2 (same-level
+// buckets are scanned twice, once per sweep direction).
+func (s *Schedule) WorkPerSource() int64 {
+	w := int64(2*s.l) * int64(len(s.eAll))
+	for L := 0; L <= s.height; L++ {
+		w += int64(2*len(s.same[L]) + len(s.desc[L]) + len(s.asc[L]))
+	}
+	return w
+}
+
+// Run executes the schedule, invoking relax(bucket) once per phase. relax
+// is abstracted so the min-plus engine and the boolean reachability engine
+// share one schedule.
+func (s *Schedule) Run(relax func(edges []graph.Edge)) {
+	for i := 0; i < s.l; i++ {
+		relax(s.eAll)
+	}
+	for L := s.height; L >= 0; L-- {
+		relax(s.same[L])
+		relax(s.desc[L])
+	}
+	for L := 0; L <= s.height; L++ {
+		relax(s.asc[L])
+		relax(s.same[L])
+	}
+	for i := 0; i < s.l; i++ {
+		relax(s.eAll)
+	}
+}

@@ -1,0 +1,76 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"sepsp/internal/graph"
+)
+
+// VerifyDistances checks that dist is a valid single-source distance
+// certificate for src on g, within relative tolerance tol:
+//
+//	(1) dist[src] == 0;
+//	(2) no edge is over-relaxed: dist[v] ≤ dist[u] + w(u,v) for every edge;
+//	(3) every finite dist[v], v ≠ src, is witnessed by a tight in-edge;
+//	(4) finiteness is closed under edges (no reachable vertex marked +Inf).
+//
+// Conditions (2)+(4) prove dist ≤ true distances is impossible to violate
+// upward, and (1)+(3) prove each value is achieved by an actual path, so
+// together they certify exactness. This is the standard checker used to
+// validate any SSSP implementation independent of how it computed.
+func VerifyDistances(g *graph.Digraph, src int, dist []float64, tol float64) error {
+	if len(dist) != g.N() {
+		return fmt.Errorf("core: certificate has %d entries for %d vertices", len(dist), g.N())
+	}
+	if dist[src] != 0 {
+		return fmt.Errorf("core: dist[src=%d] = %v, want 0", src, dist[src])
+	}
+	var err error
+	g.Edges(func(u, v int, w float64) bool {
+		du, dv := dist[u], dist[v]
+		if math.IsInf(du, 1) {
+			return true
+		}
+		if math.IsInf(dv, 1) {
+			err = fmt.Errorf("core: vertex %d unreachable but %d->%d reaches it", v, u, v)
+			return false
+		}
+		if dv > du+w+tol*scaleOf(du+w) {
+			err = fmt.Errorf("core: edge (%d,%d,%v) over-relaxed: dist %v -> %v", u, v, w, du, dv)
+			return false
+		}
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	for v := 0; v < g.N(); v++ {
+		dv := dist[v]
+		if v == src || math.IsInf(dv, 1) {
+			continue
+		}
+		tightFound := false
+		g.In(v, func(u int, w float64) bool {
+			if du := dist[u]; !math.IsInf(du, 1) && math.Abs(du+w-dv) <= tol*scaleOf(dv) {
+				tightFound = true
+				return false
+			}
+			return true
+		})
+		if !tightFound {
+			return fmt.Errorf("core: dist[%d] = %v has no tight in-edge (value not achieved by a path)", v, dv)
+		}
+	}
+	return nil
+}
+
+func scaleOf(x float64) float64 {
+	if x < 0 {
+		x = -x
+	}
+	if x < 1 {
+		return 1
+	}
+	return x
+}

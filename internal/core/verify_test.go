@@ -1,0 +1,72 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"sepsp/internal/graph"
+	"sepsp/internal/graph/gen"
+)
+
+func TestVerifyAcceptsEngineOutput(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		eng, g := buildGridEngine(t, []int{3 + rng.Intn(8), 3 + rng.Intn(8)},
+			gen.UniformWeights(0.1, 4), seed, Config{})
+		src := rng.Intn(g.N())
+		dist := eng.SSSP(src, nil)
+		if err := VerifyDistances(g, src, dist, 1e-9); err != nil {
+			t.Errorf("seed=%d: %v", seed, err)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVerifyRejectsCorruptCertificates(t *testing.T) {
+	eng, g := buildGridEngine(t, []int{6, 6}, gen.UniformWeights(1, 2), 3, Config{})
+	dist := eng.SSSP(0, nil)
+
+	tooSmall := append([]float64(nil), dist...)
+	tooSmall[10] -= 0.5 // no path achieves this value
+	if err := VerifyDistances(g, 0, tooSmall, 1e-9); err == nil {
+		t.Fatal("under-estimate accepted")
+	}
+
+	tooBig := append([]float64(nil), dist...)
+	tooBig[10] += 0.5 // some in-edge is over-relaxed
+	if err := VerifyDistances(g, 0, tooBig, 1e-9); err == nil {
+		t.Fatal("over-estimate accepted")
+	}
+
+	badSrc := append([]float64(nil), dist...)
+	badSrc[0] = 1
+	if err := VerifyDistances(g, 0, badSrc, 1e-9); err == nil {
+		t.Fatal("nonzero source accepted")
+	}
+
+	fakeInf := append([]float64(nil), dist...)
+	fakeInf[10] = math.Inf(1)
+	if err := VerifyDistances(g, 0, fakeInf, 1e-9); err == nil {
+		t.Fatal("false unreachability accepted")
+	}
+
+	if err := VerifyDistances(g, 0, dist[:5], 1e-9); err == nil {
+		t.Fatal("wrong arity accepted")
+	}
+}
+
+func TestVerifyHandlesUnreachable(t *testing.T) {
+	b := graph.NewBuilder(4)
+	b.AddEdge(0, 1, 2)
+	g := b.Build()
+	inf := math.Inf(1)
+	if err := VerifyDistances(g, 0, []float64{0, 2, inf, inf}, 0); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,155 @@
+// Package exp defines the reproduction experiments: one per table, figure,
+// and quantitative claim of the paper, as indexed in DESIGN.md. Each
+// experiment returns a Table that cmd/benchtab prints and EXPERIMENTS.md
+// records; bench_test.go at the repository root exposes each as a
+// testing.B benchmark.
+package exp
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"strings"
+
+	"sepsp/internal/graph"
+	"sepsp/internal/graph/gen"
+	"sepsp/internal/separator"
+)
+
+// Table is a rendered experiment result.
+type Table struct {
+	ID     string
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// Render writes the table as aligned text.
+func (t *Table) Render(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		var parts []string
+		for i, c := range cells {
+			if i < len(widths) {
+				parts = append(parts, fmt.Sprintf("%-*s", widths[i], c))
+			} else {
+				parts = append(parts, c)
+			}
+		}
+		fmt.Fprintln(w, "  "+strings.Join(parts, "  "))
+	}
+	line(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "  note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+// FitSlope fits log(y) = a + slope·log(x) by least squares and returns the
+// slope — the empirical scaling exponent compared against the paper's
+// predicted exponents.
+func FitSlope(xs, ys []float64) float64 {
+	if len(xs) != len(ys) || len(xs) < 2 {
+		return math.NaN()
+	}
+	var sx, sy, sxx, sxy float64
+	n := float64(len(xs))
+	for i := range xs {
+		lx, ly := math.Log(xs[i]), math.Log(ys[i])
+		sx += lx
+		sy += ly
+		sxx += lx * lx
+		sxy += lx * ly
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return math.NaN()
+	}
+	return (n*sxy - sx*sy) / den
+}
+
+// Workload is a graph plus its separator decomposition, labeled with the
+// separator exponent μ it realizes.
+type Workload struct {
+	Name string
+	Mu   float64
+	G    *graph.Digraph
+	Tree *separator.Tree
+}
+
+// MuWorkload builds a benchmark family genuinely realizing separator
+// exponent mu at every recursion scale (the paper's "k^μ-separator
+// decomposition" property):
+//
+//	mu = 0   : random 3-trees (bounded treewidth — O(1) separators,
+//	           the 3μ < 1 and 2μ < 1 regimes of Table 1);
+//	mu = 1/2 : the √n×√n grid (also the planar exponent);
+//	mu = 2/3 : the cubic grid;
+//	mu = 3/4 : the 4-dimensional grid.
+//
+// Anisotropic "cigar" grids are deliberately NOT used: a w×h strip with
+// w = n^μ ≪ h has an n^μ root separator but its recursive pieces get
+// relatively fatter, so the family does not satisfy the all-scales k^μ
+// property and its total work scales as n^{1+μ}, not n^{3μ}.
+func MuWorkload(mu float64, n int, seed int64) (*Workload, error) {
+	if mu < 0 || mu >= 1 {
+		return nil, fmt.Errorf("exp: mu %v out of [0,1)", mu)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	if mu == 0 {
+		kt := gen.NewKTree(n, 3, gen.UniformWeights(0.5, 2), rng)
+		sk := graph.NewSkeleton(kt.G)
+		tree, err := separator.Build(sk, &separator.TreeDecompFinder{Bags: kt.Decomp.Bags, Parent: kt.Decomp.Parent}, separator.Options{LeafSize: 8})
+		if err != nil {
+			return nil, err
+		}
+		return &Workload{Name: fmt.Sprintf("3-tree n=%d", n), Mu: 0, G: kt.G, Tree: tree}, nil
+	}
+	dims := gen.GridDimsForMu(mu, n)
+	grid := gen.NewGrid(dims, gen.UniformWeights(0.5, 2), rng)
+	sk := graph.NewSkeleton(grid.G)
+	tree, err := separator.Build(sk, &separator.CoordinateFinder{Coord: grid.Coord}, separator.Options{LeafSize: 8})
+	if err != nil {
+		return nil, err
+	}
+	return &Workload{
+		Name: fmt.Sprintf("grid%v n=%d", dims, grid.G.N()),
+		Mu:   mu,
+		G:    grid.G,
+		Tree: tree,
+	}, nil
+}
+
+func f(v float64) string {
+	switch {
+	case math.IsNaN(v):
+		return "-"
+	case v == math.Trunc(v) && math.Abs(v) < 1e15:
+		return fmt.Sprintf("%.0f", v)
+	default:
+		return fmt.Sprintf("%.3g", v)
+	}
+}
+
+func d(v int64) string { return fmt.Sprintf("%d", v) }

@@ -1,0 +1,125 @@
+package exp
+
+import (
+	"fmt"
+	"sort"
+
+	"sepsp/internal/pram"
+)
+
+// Result is the output of one experiment: tables plus optional free-form
+// text blocks (figure renderings).
+type Result struct {
+	Tables []*Table
+	Text   []string
+}
+
+// Runner executes one experiment.
+type Runner func(ex *pram.Executor, scale int) (*Result, error)
+
+var registry = map[string]Runner{
+	"T1-prep": func(ex *pram.Executor, scale int) (*Result, error) {
+		t, err := Table1Prep(ex, scale)
+		return oneTable(t), err
+	},
+	"T1-query": func(ex *pram.Executor, scale int) (*Result, error) {
+		t, err := Table1Query(ex, scale)
+		return oneTable(t), err
+	},
+	"F1": func(*pram.Executor, int) (*Result, error) {
+		t, text, err := Figure1()
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Tables: []*Table{t}, Text: []string{text}}, nil
+	},
+	"F2": func(*pram.Executor, int) (*Result, error) {
+		t, text, err := Figure2()
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Tables: []*Table{t}, Text: []string{text}}, nil
+	},
+	"E-diam": func(ex *pram.Executor, scale int) (*Result, error) {
+		t, err := DiameterExperiment(ex)
+		return oneTable(t), err
+	},
+	"E-esize": func(ex *pram.Executor, scale int) (*Result, error) {
+		t, err := AugmentSizeExperiment(ex, scale)
+		return oneTable(t), err
+	},
+	"E-alg41v43": func(ex *pram.Executor, scale int) (*Result, error) {
+		t, err := AlgorithmComparison(ex, scale)
+		return oneTable(t), err
+	},
+	"E-sched": func(ex *pram.Executor, scale int) (*Result, error) {
+		t, err := ScheduleExperiment(ex, scale)
+		return oneTable(t), err
+	},
+	"E-seq": func(ex *pram.Executor, scale int) (*Result, error) {
+		t, err := SequentialCrossover(ex, scale)
+		return oneTable(t), err
+	},
+	"E-reach": func(ex *pram.Executor, scale int) (*Result, error) {
+		t, err := ReachabilityExperiment(ex, scale)
+		return oneTable(t), err
+	},
+	"E-planar": func(ex *pram.Executor, scale int) (*Result, error) {
+		t, err := PlanarExperiment(ex, scale)
+		return oneTable(t), err
+	},
+	"E-speedup": func(_ *pram.Executor, scale int) (*Result, error) {
+		t, err := SpeedupExperiment(scale)
+		return oneTable(t), err
+	},
+	"E-negcyc": func(ex *pram.Executor, scale int) (*Result, error) {
+		t, err := NegativeCycleExperiment(ex)
+		return oneTable(t), err
+	},
+	"E-semiring": func(*pram.Executor, int) (*Result, error) {
+		t, err := SemiringExperiment()
+		return oneTable(t), err
+	},
+	"E-ineq": func(ex *pram.Executor, scale int) (*Result, error) {
+		t, err := ConstraintsExperiment(ex, scale)
+		return oneTable(t), err
+	},
+	"E-incr": func(ex *pram.Executor, scale int) (*Result, error) {
+		t, err := IncrementalExperiment(ex, scale)
+		return oneTable(t), err
+	},
+	"E-pairs": func(ex *pram.Executor, scale int) (*Result, error) {
+		t, err := PairsExperiment(ex, scale)
+		return oneTable(t), err
+	},
+	"E-finders": func(ex *pram.Executor, scale int) (*Result, error) {
+		t, err := FinderAblation(ex, scale)
+		return oneTable(t), err
+	},
+}
+
+func oneTable(t *Table) *Result {
+	if t == nil {
+		return nil
+	}
+	return &Result{Tables: []*Table{t}}
+}
+
+// IDs returns all experiment ids in stable order.
+func IDs() []string {
+	var ids []string
+	for id := range registry {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Run executes the experiment with the given id.
+func Run(id string, ex *pram.Executor, scale int) (*Result, error) {
+	r, ok := registry[id]
+	if !ok {
+		return nil, fmt.Errorf("exp: unknown experiment %q (have %v)", id, IDs())
+	}
+	return r(ex, scale)
+}

@@ -1,0 +1,129 @@
+package exp
+
+import (
+	"fmt"
+	"math"
+
+	"sepsp/internal/augment"
+	"sepsp/internal/core"
+	"sepsp/internal/pram"
+)
+
+// Table1Mus are the separator exponents used to cover every regime of the
+// paper's Table 1: 3μ<1 and 2μ<1 (μ=0), 3μ>1 with μ=1/2 (the n log n query
+// row), and 3μ>1, 2μ>1 (μ=2/3, 3/4).
+var Table1Mus = []float64{0, 0.5, 2.0 / 3.0, 0.75}
+
+// table1Sizes picks per-μ problem sizes that keep counted work tractable.
+func table1Sizes(mu float64, scale int) []int {
+	base := []int{1, 2, 4, 8}
+	var out []int
+	for _, b := range base {
+		switch {
+		case mu == 0:
+			out = append(out, 2000*b*scale)
+		case mu == 0.5:
+			out = append(out, 1024*b*scale)
+		case mu < 0.7:
+			out = append(out, 512*b*scale)
+		default:
+			out = append(out, 256*b*scale)
+		}
+	}
+	return out
+}
+
+// prepExponent is Table 1's predicted preprocessing-work exponent
+// (ignoring polylog factors): max(1, 3μ).
+func prepExponent(mu float64) float64 { return math.Max(1, 3*mu) }
+
+// queryExponent is Table 1's predicted per-source work exponent: max(1, 2μ).
+func queryExponent(mu float64) float64 { return math.Max(1, 2*mu) }
+
+// Table1Prep reproduces the preprocessing rows of Table 1: counted work and
+// parallel rounds of the E+ construction as functions of n, per μ, with the
+// fitted log-log slope against the predicted exponent. scale multiplies the
+// default problem sizes.
+func Table1Prep(ex *pram.Executor, scale int) (*Table, error) {
+	if scale < 1 {
+		scale = 1
+	}
+	t := &Table{
+		ID:     "T1-prep",
+		Title:  "Table 1 (preprocessing): work and time of the E+ construction",
+		Header: []string{"mu", "family", "n", "prep work", "rounds", "log2(n)^2"},
+		Notes: []string{
+			"paper: work O(n + n^{3mu}) (x polylog at boundary cases), time O(log^2 n) [Alg 4.3] / O(log^3 n) [Alg 4.1 by levels]",
+			"slopes fitted on counted work vs n; rounds compared against log^2 n",
+		},
+	}
+	for _, mu := range Table1Mus {
+		var ns, works []float64
+		for _, n := range table1Sizes(mu, scale) {
+			wl, err := MuWorkload(mu, n, 1)
+			if err != nil {
+				return nil, err
+			}
+			st := &pram.Stats{}
+			if _, err := augment.Alg41(wl.G, wl.Tree, augment.Config{Ex: ex, Stats: st, UseFloydWarshall: true}); err != nil {
+				return nil, err
+			}
+			nn := float64(wl.G.N())
+			ns = append(ns, nn)
+			works = append(works, float64(st.Work()))
+			lg := math.Log2(nn)
+			t.Rows = append(t.Rows, []string{
+				f(mu), wl.Name, d(int64(wl.G.N())), d(st.Work()), d(st.Rounds()), f(lg * lg),
+			})
+		}
+		slope := FitSlope(ns, works)
+		t.Rows = append(t.Rows, []string{
+			f(mu), "→ fitted slope", "", f(slope),
+			fmt.Sprintf("predicted %s", f(prepExponent(mu))), "",
+		})
+	}
+	return t, nil
+}
+
+// Table1Query reproduces the per-source row of Table 1: the work of one
+// scheduled SSSP query as a function of n, per μ.
+func Table1Query(ex *pram.Executor, scale int) (*Table, error) {
+	if scale < 1 {
+		scale = 1
+	}
+	t := &Table{
+		ID:     "T1-query",
+		Title:  "Table 1 (work per source): scheduled Bellman-Ford query cost",
+		Header: []string{"mu", "family", "n", "|E|", "|E+|", "query work", "phases"},
+		Notes: []string{
+			"paper: per-source work O(n + n^{2mu}) for mu != 1/2, O(n log n) at mu = 1/2, in O(log^2 n) time",
+		},
+	}
+	for _, mu := range Table1Mus {
+		var ns, works []float64
+		for _, n := range table1Sizes(mu, scale) {
+			wl, err := MuWorkload(mu, n, 1)
+			if err != nil {
+				return nil, err
+			}
+			eng, err := core.NewEngine(wl.G, wl.Tree, core.Config{Ex: ex, UseFloydWarshall: true})
+			if err != nil {
+				return nil, err
+			}
+			st := &pram.Stats{}
+			eng.SSSP(0, st)
+			ns = append(ns, float64(wl.G.N()))
+			works = append(works, float64(st.Work()))
+			t.Rows = append(t.Rows, []string{
+				f(mu), wl.Name, d(int64(wl.G.N())), d(int64(wl.G.M())),
+				d(int64(len(eng.Augmentation().Edges))), d(st.Work()), d(st.Rounds()),
+			})
+		}
+		slope := FitSlope(ns, works)
+		t.Rows = append(t.Rows, []string{
+			f(mu), "→ fitted slope", "", "", "", f(slope),
+			fmt.Sprintf("predicted %s", f(queryExponent(mu))),
+		})
+	}
+	return t, nil
+}

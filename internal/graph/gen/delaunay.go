@@ -1,0 +1,147 @@
+package gen
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"sepsp/internal/graph"
+)
+
+// Delaunay is a generated Delaunay triangulation of random points in the
+// unit square: the classic "road network"-like planar family. Unlike grids
+// it has irregular degrees and no lattice coordinates, so it exercises the
+// embedding-based separator machinery (planar.CycleFinder) rather than
+// hyperplane cuts.
+type Delaunay struct {
+	G      *graph.Digraph
+	Points [][]float64
+	// Rotation[v] lists v's neighbors in counterclockwise angular order —
+	// a planar rotation system for the triangulation.
+	Rotation [][]int
+}
+
+// NewDelaunay triangulates n random points (Bowyer–Watson, O(n²) — fine
+// for benchmark sizes). Edge weights are the Euclidean length multiplied by
+// wf(rng, u, v) in each direction (pass UnitWeights for symmetric metric
+// weights).
+func NewDelaunay(n int, wf WeightFn, rng *rand.Rand) *Delaunay {
+	if n < 3 {
+		panic("gen: Delaunay needs n >= 3")
+	}
+	pts := make([][2]float64, n, n+3)
+	for i := range pts {
+		pts[i] = [2]float64{rng.Float64(), rng.Float64()}
+	}
+	// Super-triangle enclosing the unit square by a wide margin.
+	pts = append(pts,
+		[2]float64{-30, -20},
+		[2]float64{31, -20},
+		[2]float64{0.5, 40},
+	)
+	s0, s1, s2 := n, n+1, n+2
+
+	type tri struct{ a, b, c int } // CCW order
+	ccw := func(a, b, c int) tri {
+		if orient(pts[a], pts[b], pts[c]) < 0 {
+			b, c = c, b
+		}
+		return tri{a, b, c}
+	}
+	tris := []tri{ccw(s0, s1, s2)}
+
+	for p := 0; p < n; p++ {
+		// Bad triangles: circumcircle strictly contains point p.
+		var bad []tri
+		var keep []tri
+		for _, t := range tris {
+			if inCircle(pts[t.a], pts[t.b], pts[t.c], pts[p]) > 0 {
+				bad = append(bad, t)
+			} else {
+				keep = append(keep, t)
+			}
+		}
+		// Boundary of the cavity: edges of bad triangles seen exactly once.
+		edgeCount := make(map[[2]int]int)
+		key := func(u, v int) [2]int {
+			if u > v {
+				u, v = v, u
+			}
+			return [2]int{u, v}
+		}
+		for _, t := range bad {
+			edgeCount[key(t.a, t.b)]++
+			edgeCount[key(t.b, t.c)]++
+			edgeCount[key(t.c, t.a)]++
+		}
+		tris = keep
+		for e, c := range edgeCount {
+			if c == 1 {
+				tris = append(tris, ccw(e[0], e[1], p))
+			}
+		}
+	}
+	// Collect edges, dropping anything touching the super-triangle.
+	edgeSet := make(map[[2]int]bool)
+	for _, t := range tris {
+		for _, e := range [][2]int{{t.a, t.b}, {t.b, t.c}, {t.c, t.a}} {
+			u, v := e[0], e[1]
+			if u >= n || v >= n {
+				continue
+			}
+			if u > v {
+				u, v = v, u
+			}
+			edgeSet[[2]int{u, v}] = true
+		}
+	}
+	d := &Delaunay{
+		Points:   make([][]float64, n),
+		Rotation: make([][]int, n),
+	}
+	adj := make([][]int, n)
+	for e := range edgeSet {
+		adj[e[0]] = append(adj[e[0]], e[1])
+		adj[e[1]] = append(adj[e[1]], e[0])
+	}
+	b := graph.NewBuilder(n)
+	for v := 0; v < n; v++ {
+		d.Points[v] = []float64{pts[v][0], pts[v][1]}
+		// CCW angular order around v.
+		sort.Slice(adj[v], func(i, j int) bool {
+			return angle(pts[v], pts[adj[v][i]]) < angle(pts[v], pts[adj[v][j]])
+		})
+		d.Rotation[v] = adj[v]
+		for _, u := range adj[v] {
+			if u > v { // add each undirected edge once, both directions
+				dx := pts[v][0] - pts[u][0]
+				dy := pts[v][1] - pts[u][1]
+				euclid := math.Sqrt(dx*dx + dy*dy)
+				b.AddEdge(v, u, euclid*wf(rng, v, u))
+				b.AddEdge(u, v, euclid*wf(rng, u, v))
+			}
+		}
+	}
+	d.G = b.Build()
+	return d
+}
+
+func angle(from, to [2]float64) float64 {
+	return math.Atan2(to[1]-from[1], to[0]-from[0])
+}
+
+// orient returns > 0 if a,b,c are counterclockwise.
+func orient(a, b, c [2]float64) float64 {
+	return (b[0]-a[0])*(c[1]-a[1]) - (b[1]-a[1])*(c[0]-a[0])
+}
+
+// inCircle returns > 0 if p lies strictly inside the circumcircle of the
+// CCW triangle a,b,c (standard 3×3 lifted determinant).
+func inCircle(a, b, c, p [2]float64) float64 {
+	ax, ay := a[0]-p[0], a[1]-p[1]
+	bx, by := b[0]-p[0], b[1]-p[1]
+	cx, cy := c[0]-p[0], c[1]-p[1]
+	return (ax*ax+ay*ay)*(bx*cy-by*cx) -
+		(bx*bx+by*by)*(ax*cy-ay*cx) +
+		(cx*cx+cy*cy)*(ax*by-ay*bx)
+}

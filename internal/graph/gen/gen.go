@@ -1,0 +1,223 @@
+// Package gen generates the benchmark graph families used throughout the
+// reproduction: d-dimensional grids (including anisotropic "cigar" grids that
+// realize any separator exponent μ = (d-1)/d or smaller), sparse random
+// digraphs, k-trees (bounded treewidth, with their tree decomposition),
+// geometric overlap graphs, and weighting helpers including the
+// potential-shift construction that introduces negative edge weights without
+// creating negative cycles.
+//
+// All generators are deterministic given their *rand.Rand.
+package gen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"sepsp/internal/graph"
+)
+
+// WeightFn produces the weight of a directed edge u -> v.
+type WeightFn func(rng *rand.Rand, u, v int) float64
+
+// UnitWeights assigns weight 1 to every edge.
+func UnitWeights() WeightFn {
+	return func(*rand.Rand, int, int) float64 { return 1 }
+}
+
+// UniformWeights assigns independent uniform weights in [lo, hi).
+func UniformWeights(lo, hi float64) WeightFn {
+	if hi < lo {
+		panic("gen: UniformWeights hi < lo")
+	}
+	return func(rng *rand.Rand, _, _ int) float64 {
+		return lo + rng.Float64()*(hi-lo)
+	}
+}
+
+// Grid describes a generated d-dimensional grid graph.
+type Grid struct {
+	G    *graph.Digraph
+	Dims []int
+	// Coord[v] is the lattice coordinate of vertex v, one entry per
+	// dimension.
+	Coord [][]int
+}
+
+// Index returns the vertex id of the lattice point c.
+func (g *Grid) Index(c []int) int {
+	if len(c) != len(g.Dims) {
+		panic("gen: coordinate arity mismatch")
+	}
+	idx := 0
+	for i, x := range c {
+		if x < 0 || x >= g.Dims[i] {
+			panic(fmt.Sprintf("gen: coordinate %v out of range for dims %v", c, g.Dims))
+		}
+		idx = idx*g.Dims[i] + x
+	}
+	return idx
+}
+
+// NewGrid builds the directed grid graph on the lattice with the given side
+// lengths. Every lattice edge appears in both directions; the two directions
+// get independent weights from wf. dims must be non-empty with positive
+// entries.
+func NewGrid(dims []int, wf WeightFn, rng *rand.Rand) *Grid {
+	if len(dims) == 0 {
+		panic("gen: empty dims")
+	}
+	n := 1
+	for _, d := range dims {
+		if d <= 0 {
+			panic("gen: non-positive dimension")
+		}
+		n *= d
+	}
+	coord := make([][]int, n)
+	c := make([]int, len(dims))
+	for v := 0; v < n; v++ {
+		cc := make([]int, len(dims))
+		copy(cc, c)
+		coord[v] = cc
+		// mixed-radix increment, last dimension fastest (matches Index)
+		for i := len(dims) - 1; i >= 0; i-- {
+			c[i]++
+			if c[i] < dims[i] {
+				break
+			}
+			c[i] = 0
+		}
+	}
+	g := &Grid{Dims: append([]int(nil), dims...), Coord: coord}
+	b := graph.NewBuilder(n)
+	for v := 0; v < n; v++ {
+		for i := range dims {
+			if coord[v][i]+1 < dims[i] {
+				nc := append([]int(nil), coord[v]...)
+				nc[i]++
+				u := g.Index(nc)
+				b.AddEdge(v, u, wf(rng, v, u))
+				b.AddEdge(u, v, wf(rng, u, v))
+			}
+		}
+	}
+	g.G = b.Build()
+	return g
+}
+
+// GridDimsForMu picks side lengths whose separator exponent is approximately
+// mu at scale n:
+//
+//	mu = 1/2 : square grid  (√n × √n)
+//	mu = 2/3 : cubic grid   (n^⅓ each)
+//	mu < 1/2 : "cigar" grid n^mu × n^(1-mu) — hyperplane cuts across the
+//	           short side give separators of size Θ(n^mu) until the pieces
+//	           become square.
+//
+// The product of the returned dims is close to n but generally not exactly n.
+func GridDimsForMu(mu float64, n int) []int {
+	switch {
+	case mu <= 0 || mu >= 1:
+		panic("gen: mu must be in (0,1)")
+	case math.Abs(mu-2.0/3.0) < 1e-9:
+		s := int(math.Round(math.Cbrt(float64(n))))
+		if s < 2 {
+			s = 2
+		}
+		return []int{s, s, s}
+	case math.Abs(mu-0.75) < 1e-9:
+		s := int(math.Round(math.Pow(float64(n), 0.25)))
+		if s < 2 {
+			s = 2
+		}
+		return []int{s, s, s, s}
+	default:
+		w := int(math.Round(math.Pow(float64(n), mu)))
+		if w < 1 {
+			w = 1
+		}
+		h := (n + w - 1) / w
+		if h < 1 {
+			h = 1
+		}
+		return []int{w, h}
+	}
+}
+
+// RandomDigraph generates a digraph with n vertices and approximately m
+// random directed edges (self-loops excluded, duplicates possible). A
+// Hamiltonian-style backbone cycle is NOT added; use EnsureWeaklyConnected
+// when connectivity is needed.
+func RandomDigraph(n, m int, wf WeightFn, rng *rand.Rand) *graph.Digraph {
+	b := graph.NewBuilder(n)
+	for i := 0; i < m; i++ {
+		u := rng.Intn(n)
+		v := rng.Intn(n)
+		if u == v {
+			continue
+		}
+		b.AddEdge(u, v, wf(rng, u, v))
+	}
+	return b.Build()
+}
+
+// RandomDAG generates a DAG: edges only go from lower to higher vertex id.
+func RandomDAG(n, m int, wf WeightFn, rng *rand.Rand) *graph.Digraph {
+	b := graph.NewBuilder(n)
+	for i := 0; i < m; i++ {
+		u := rng.Intn(n)
+		v := rng.Intn(n)
+		if u == v {
+			continue
+		}
+		if u > v {
+			u, v = v, u
+		}
+		b.AddEdge(u, v, wf(rng, u, v))
+	}
+	return b.Build()
+}
+
+// PotentialShift rewrites the weights of g as
+//
+//	w'(u,v) = w(u,v) + p(u) − p(v)
+//
+// for random vertex potentials p drawn uniformly from [0, scale). If all
+// original weights are nonnegative this introduces negative edges but no
+// negative cycles (every cycle's weight is unchanged), and for every pair
+// dist'(u,v) = dist(u,v) + p(u) − p(v). The potentials used are returned so
+// tests can invert the shift.
+func PotentialShift(g *graph.Digraph, scale float64, rng *rand.Rand) (*graph.Digraph, []float64) {
+	p := make([]float64, g.N())
+	for i := range p {
+		p[i] = rng.Float64() * scale
+	}
+	b := graph.NewBuilder(g.N())
+	g.Edges(func(from, to int, w float64) bool {
+		b.AddEdge(from, to, w+p[from]-p[to])
+		return true
+	})
+	return b.Build(), p
+}
+
+// PlantNegativeCycle adds a directed cycle through k distinct random vertices
+// with total weight −1, making the graph contain a negative cycle. It returns
+// the new graph and the planted cycle's vertices.
+func PlantNegativeCycle(g *graph.Digraph, k int, rng *rand.Rand) (*graph.Digraph, []int) {
+	if k < 2 || k > g.N() {
+		panic("gen: bad cycle length")
+	}
+	perm := rng.Perm(g.N())[:k]
+	b := graph.NewBuilder(g.N())
+	g.Edges(func(from, to int, w float64) bool {
+		b.AddEdge(from, to, w)
+		return true
+	})
+	// k-1 edges of weight 0 and a closing edge of weight -1.
+	for i := 0; i+1 < k; i++ {
+		b.AddEdge(perm[i], perm[i+1], 0)
+	}
+	b.AddEdge(perm[k-1], perm[0], -1)
+	return b.Build(), perm
+}

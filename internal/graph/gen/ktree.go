@@ -1,0 +1,189 @@
+package gen
+
+import (
+	"math/rand"
+
+	"sepsp/internal/graph"
+)
+
+// TreeDecomposition is a tree decomposition of a graph: Bags[i] is a vertex
+// set, Parent[i] is the parent bag index (-1 for the root). For k-trees
+// produced by NewKTree the width is exactly k (bags of size k+1) and the
+// decomposition is valid by construction.
+type TreeDecomposition struct {
+	Bags   [][]int
+	Parent []int
+}
+
+// KTree is a generated k-tree together with its tree decomposition. k-trees
+// are the canonical bounded-treewidth family: graphs with treewidth ≤ k are
+// exactly the subgraphs of k-trees. They have O(k)-separators (a single bag),
+// i.e. separator exponent μ → 0, exercising the paper's m=O(n), |E+|=O(n)
+// regime.
+type KTree struct {
+	G      *graph.Digraph
+	K      int
+	Decomp TreeDecomposition
+}
+
+// NewKTree generates a random k-tree on n >= k+1 vertices. Construction:
+// start from a (k+1)-clique; each subsequent vertex is connected to all
+// vertices of a uniformly random existing bag minus one of its members (a
+// random k-clique), forming a new bag. Both edge directions receive
+// independent weights from wf.
+func NewKTree(n, k int, wf WeightFn, rng *rand.Rand) *KTree {
+	if k < 1 || n < k+1 {
+		panic("gen: need n >= k+1, k >= 1")
+	}
+	b := graph.NewBuilder(n)
+	addBoth := func(u, v int) {
+		b.AddEdge(u, v, wf(rng, u, v))
+		b.AddEdge(v, u, wf(rng, v, u))
+	}
+	// Initial clique on vertices 0..k.
+	root := make([]int, 0, k+1)
+	for v := 0; v <= k; v++ {
+		for u := 0; u < v; u++ {
+			addBoth(u, v)
+		}
+		root = append(root, v)
+	}
+	bags := [][]int{root}
+	parent := []int{-1}
+	for v := k + 1; v < n; v++ {
+		pi := rng.Intn(len(bags))
+		pb := bags[pi]
+		// Choose the k-clique = parent bag minus one random member.
+		skip := rng.Intn(len(pb))
+		bag := make([]int, 0, k+1)
+		for i, u := range pb {
+			if i == skip {
+				continue
+			}
+			addBoth(u, v)
+			bag = append(bag, u)
+		}
+		bag = append(bag, v)
+		bags = append(bags, bag)
+		parent = append(parent, pi)
+	}
+	return &KTree{
+		G:      b.Build(),
+		K:      k,
+		Decomp: TreeDecomposition{Bags: bags, Parent: parent},
+	}
+}
+
+// Geometric is a generated geometric (overlap-style) graph: n points drawn
+// uniformly from the unit d-cube, with an edge (both directions) between
+// every pair at Euclidean distance <= radius. These approximate the r-overlap
+// graphs of Miller, Teng and Vavasis (Section 1), which have
+// O(n^((d-1)/d))-separators computable by geometric cuts.
+type Geometric struct {
+	G      *graph.Digraph
+	Points [][]float64
+}
+
+// NewGeometric generates a geometric graph. It uses a lattice bucket grid so
+// generation is near-linear in n for constant expected degree.
+func NewGeometric(n, d int, radius float64, wf WeightFn, rng *rand.Rand) *Geometric {
+	if d < 1 {
+		panic("gen: dimension must be >= 1")
+	}
+	if radius <= 0 {
+		panic("gen: radius must be positive")
+	}
+	pts := make([][]float64, n)
+	for i := range pts {
+		p := make([]float64, d)
+		for j := range p {
+			p[j] = rng.Float64()
+		}
+		pts[i] = p
+	}
+	cells := int(1 / radius)
+	if cells < 1 {
+		cells = 1
+	}
+	cellOf := func(p []float64) int {
+		idx := 0
+		for _, x := range p {
+			c := int(x * float64(cells))
+			if c >= cells {
+				c = cells - 1
+			}
+			idx = idx*cells + c
+		}
+		return idx
+	}
+	buckets := make(map[int][]int)
+	for i, p := range pts {
+		c := cellOf(p)
+		buckets[c] = append(buckets[c], i)
+	}
+	dist2 := func(a, b []float64) float64 {
+		s := 0.0
+		for j := range a {
+			dx := a[j] - b[j]
+			s += dx * dx
+		}
+		return s
+	}
+	r2 := radius * radius
+	b := graph.NewBuilder(n)
+	// Enumerate neighbor cells via offset vectors in {-1,0,1}^d.
+	offsets := [][]int{{}}
+	for j := 0; j < d; j++ {
+		var next [][]int
+		for _, o := range offsets {
+			for dd := -1; dd <= 1; dd++ {
+				next = append(next, append(append([]int(nil), o...), dd))
+			}
+		}
+		offsets = next
+	}
+	coordsOf := func(p []float64) []int {
+		cs := make([]int, d)
+		for j, x := range p {
+			c := int(x * float64(cells))
+			if c >= cells {
+				c = cells - 1
+			}
+			cs[j] = c
+		}
+		return cs
+	}
+	cellIdx := func(cs []int) (int, bool) {
+		idx := 0
+		for _, c := range cs {
+			if c < 0 || c >= cells {
+				return 0, false
+			}
+			idx = idx*cells + c
+		}
+		return idx, true
+	}
+	for i, p := range pts {
+		base := coordsOf(p)
+		for _, off := range offsets {
+			cs := make([]int, d)
+			for j := range cs {
+				cs[j] = base[j] + off[j]
+			}
+			ci, ok := cellIdx(cs)
+			if !ok {
+				continue
+			}
+			for _, j := range buckets[ci] {
+				if j <= i {
+					continue
+				}
+				if dist2(p, pts[j]) <= r2 {
+					b.AddEdge(i, j, wf(rng, i, j))
+					b.AddEdge(j, i, wf(rng, j, i))
+				}
+			}
+		}
+	}
+	return &Geometric{G: b.Build(), Points: pts}
+}

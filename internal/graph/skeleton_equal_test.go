@@ -1,0 +1,65 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSkeletonEqualIgnoresWeightsAndDirections(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(20)
+		m := rng.Intn(60)
+		edges := make([]Edge, 0, m)
+		for i := 0; i < m; i++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u == v {
+				continue
+			}
+			edges = append(edges, Edge{u, v, rng.Float64()})
+		}
+		g1 := FromEdges(n, edges)
+		// Same skeleton: flip random directions, change all weights, add
+		// parallel duplicates.
+		edges2 := make([]Edge, 0, 2*len(edges))
+		for _, e := range edges {
+			if rng.Intn(2) == 0 {
+				e.From, e.To = e.To, e.From
+			}
+			e.W = rng.NormFloat64()
+			edges2 = append(edges2, e)
+			if rng.Intn(3) == 0 {
+				edges2 = append(edges2, e) // parallel duplicate
+			}
+		}
+		g2 := FromEdges(n, edges2)
+		return NewSkeleton(g1).Equal(NewSkeleton(g2))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSkeletonEqualDetectsDifferences(t *testing.T) {
+	b1 := NewBuilder(3)
+	b1.AddEdge(0, 1, 1)
+	s1 := NewSkeleton(b1.Build())
+
+	b2 := NewBuilder(3)
+	b2.AddEdge(0, 2, 1)
+	if s1.Equal(NewSkeleton(b2.Build())) {
+		t.Fatal("different edge sets compare equal")
+	}
+	b3 := NewBuilder(4)
+	b3.AddEdge(0, 1, 1)
+	if s1.Equal(NewSkeleton(b3.Build())) {
+		t.Fatal("different vertex counts compare equal")
+	}
+	b4 := NewBuilder(3)
+	b4.AddEdge(0, 1, 1)
+	b4.AddEdge(1, 2, 1)
+	if s1.Equal(NewSkeleton(b4.Build())) {
+		t.Fatal("extra edge not detected")
+	}
+}

@@ -1,0 +1,232 @@
+// Package matrix provides dense min-plus (tropical) matrices: the inner
+// kernel of the paper's all-pairs computations. Algorithm 4.1 runs min-plus
+// closures on separator graphs H_S and rectangular 3-limited products on H;
+// Algorithm 4.3 runs one min-plus squaring step per node per iteration.
+//
+// Work is counted as one unit per (i,k,j) triple inspected; parallel time is
+// counted as rounds by the callers (see internal/pram).
+package matrix
+
+import (
+	"errors"
+	"math"
+
+	"sepsp/internal/pram"
+)
+
+// ErrNegativeCycle reports that a closure computation found a negative-weight
+// cycle (a negative diagonal entry).
+var ErrNegativeCycle = errors.New("matrix: negative-weight cycle detected")
+
+// Dense is a rectangular dense matrix over the min-plus semiring. Missing
+// entries are +Inf.
+type Dense struct {
+	R, C int
+	A    []float64 // row-major, length R*C
+}
+
+// New returns an R×C matrix with all entries +Inf.
+func New(r, c int) *Dense {
+	a := make([]float64, r*c)
+	inf := math.Inf(1)
+	for i := range a {
+		a[i] = inf
+	}
+	return &Dense{R: r, C: c, A: a}
+}
+
+// NewSquare returns an n×n matrix with +Inf off-diagonal and 0 diagonal.
+func NewSquare(n int) *Dense {
+	d := New(n, n)
+	for i := 0; i < n; i++ {
+		d.A[i*n+i] = 0
+	}
+	return d
+}
+
+// At returns entry (i, j).
+func (d *Dense) At(i, j int) float64 { return d.A[i*d.C+j] }
+
+// Set assigns entry (i, j).
+func (d *Dense) Set(i, j int, v float64) { d.A[i*d.C+j] = v }
+
+// SetMin lowers entry (i, j) to v if v is smaller.
+func (d *Dense) SetMin(i, j int, v float64) {
+	if p := &d.A[i*d.C+j]; v < *p {
+		*p = v
+	}
+}
+
+// Clone returns a deep copy.
+func (d *Dense) Clone() *Dense {
+	c := &Dense{R: d.R, C: d.C, A: make([]float64, len(d.A))}
+	copy(c.A, d.A)
+	return c
+}
+
+// Equal reports exact equality of shape and entries (Inf == Inf).
+func (d *Dense) Equal(o *Dense) bool {
+	if d.R != o.R || d.C != o.C {
+		return false
+	}
+	for i, v := range d.A {
+		if v != o.A[i] && !(math.IsInf(v, 1) && math.IsInf(o.A[i], 1)) {
+			return false
+		}
+	}
+	return true
+}
+
+// MinInPlace sets d = min(d, o) elementwise.
+func (d *Dense) MinInPlace(o *Dense) {
+	if d.R != o.R || d.C != o.C {
+		panic("matrix: shape mismatch")
+	}
+	for i, v := range o.A {
+		if v < d.A[i] {
+			d.A[i] = v
+		}
+	}
+}
+
+// MulMinPlus computes the min-plus product a⊗b into a fresh matrix,
+// parallelized over result rows. Work: a.R*a.C*b.C triples, counted into st.
+// Rounds are NOT counted here: matrix kernels only count work, and callers
+// account parallel rounds analytically (one product is MulRounds(k) PRAM
+// rounds via a balanced min reduction), because concurrent kernels on
+// different tree nodes share one round, not one per kernel.
+func MulMinPlus(a, b *Dense, ex *pram.Executor, st *pram.Stats) *Dense {
+	if a.C != b.R {
+		panic("matrix: inner dimension mismatch")
+	}
+	if ex == nil {
+		ex = pram.Sequential
+	}
+	out := New(a.R, b.C)
+	k, c := a.C, b.C
+	ex.ForChunked(a.R, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			arow := a.A[i*k : (i+1)*k]
+			orow := out.A[i*c : (i+1)*c]
+			for kk, av := range arow {
+				if math.IsInf(av, 1) {
+					continue
+				}
+				brow := b.A[kk*c : (kk+1)*c]
+				for j, bv := range brow {
+					if s := av + bv; s < orow[j] {
+						orow[j] = s
+					}
+				}
+			}
+		}
+		st.AddWork(int64(hi-lo) * int64(k) * int64(c))
+	})
+	return out
+}
+
+// MulRounds returns the PRAM rounds charged for one min-plus product with
+// inner dimension k: ceil(log2 k) + 1 (balanced min reduction).
+func MulRounds(k int) int64 {
+	r := int64(1)
+	for ; k > 1; k >>= 1 {
+		r++
+	}
+	return r
+}
+
+// SquareStep performs one path-doubling step in place: d = min(d, d⊗d).
+// d must be square. It reports whether any entry strictly improved.
+func SquareStep(d *Dense, ex *pram.Executor, st *pram.Stats) bool {
+	if d.R != d.C {
+		panic("matrix: SquareStep requires a square matrix")
+	}
+	prod := MulMinPlus(d, d, ex, st)
+	changed := false
+	for i, v := range prod.A {
+		if v < d.A[i] {
+			d.A[i] = v
+			changed = true
+		}
+	}
+	return changed
+}
+
+// Closure computes the reflexive-transitive min-plus closure of the square
+// matrix d in place by repeated squaring: diagonal entries are first lowered
+// to 0, then ceil(log2 n) squaring steps run (with early exit when a step
+// changes nothing). If any diagonal entry becomes negative, the computation
+// stops and ErrNegativeCycle is returned.
+//
+// Work O(n³ log n), rounds O(log² n) — the bound the paper quotes for
+// implementing step ii of Algorithm 4.1 with path doubling.
+func Closure(d *Dense, ex *pram.Executor, st *pram.Stats) error {
+	if d.R != d.C {
+		panic("matrix: Closure requires a square matrix")
+	}
+	n := d.R
+	for i := 0; i < n; i++ {
+		d.SetMin(i, i, 0)
+	}
+	if err := checkDiagonal(d); err != nil {
+		return err
+	}
+	for span := 1; span < n; span *= 2 {
+		if !SquareStep(d, ex, st) {
+			break
+		}
+		if err := checkDiagonal(d); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// FloydWarshall computes the min-plus closure of d in place with the
+// Floyd-Warshall recurrence. Work n³; n rounds (each k-phase is one parallel
+// round over all pairs). Returns ErrNegativeCycle if a diagonal entry goes
+// negative.
+func FloydWarshall(d *Dense, ex *pram.Executor, st *pram.Stats) error {
+	if d.R != d.C {
+		panic("matrix: FloydWarshall requires a square matrix")
+	}
+	if ex == nil {
+		ex = pram.Sequential
+	}
+	n := d.R
+	for i := 0; i < n; i++ {
+		d.SetMin(i, i, 0)
+	}
+	for k := 0; k < n; k++ {
+		krow := d.A[k*n : (k+1)*n]
+		ex.ForChunked(n, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				dik := d.A[i*n+k]
+				if math.IsInf(dik, 1) {
+					continue
+				}
+				irow := d.A[i*n : (i+1)*n]
+				for j, kv := range krow {
+					if s := dik + kv; s < irow[j] {
+						irow[j] = s
+					}
+				}
+			}
+		})
+		st.AddWork(int64(n) * int64(n))
+		if d.A[k*n+k] < 0 {
+			return ErrNegativeCycle
+		}
+	}
+	return checkDiagonal(d)
+}
+
+func checkDiagonal(d *Dense) error {
+	n := d.R
+	for i := 0; i < n; i++ {
+		if d.A[i*n+i] < 0 {
+			return ErrNegativeCycle
+		}
+	}
+	return nil
+}

@@ -1,0 +1,153 @@
+package oracle
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"sepsp/internal/baseline"
+	"sepsp/internal/core"
+	"sepsp/internal/graph"
+	"sepsp/internal/graph/gen"
+	"sepsp/internal/pram"
+	"sepsp/internal/separator"
+)
+
+func almost(a, b float64) bool {
+	if math.IsInf(a, 1) || math.IsInf(b, 1) {
+		return math.IsInf(a, 1) && math.IsInf(b, 1)
+	}
+	return math.Abs(a-b) <= 1e-8*(1+math.Max(math.Abs(a), math.Abs(b)))
+}
+
+func buildOracle(t testing.TB, g *graph.Digraph, finder separator.Finder, leaf int) *Oracle {
+	t.Helper()
+	sk := graph.NewSkeleton(g)
+	tree, err := separator.Build(sk, finder, separator.Options{LeafSize: leaf})
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	eng, err := core.NewEngine(g, tree, core.Config{})
+	if err != nil {
+		t.Fatalf("NewEngine: %v", err)
+	}
+	o, err := New(eng, pram.NewExecutor(2), nil)
+	if err != nil {
+		t.Fatalf("oracle.New: %v", err)
+	}
+	return o
+}
+
+func TestOracleExactOnGrids(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		w, h := 4+rng.Intn(6), 4+rng.Intn(6)
+		grid := gen.NewGrid([]int{w, h}, gen.UniformWeights(0.5, 4), rng)
+		o := buildOracle(t, grid.G, &separator.CoordinateFinder{Coord: grid.Coord}, 4)
+		for trial := 0; trial < 4; trial++ {
+			u := rng.Intn(grid.G.N())
+			want, err := baseline.BellmanFord(grid.G, u, nil)
+			if err != nil {
+				t.Errorf("BF: %v", err)
+				return false
+			}
+			for v := 0; v < grid.G.N(); v++ {
+				if got := o.Dist(u, v, nil); !almost(got, want[v]) {
+					t.Errorf("seed=%d dist(%d,%d)=%v want %v", seed, u, v, got, want[v])
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOracleNegativeWeights(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	grid := gen.NewGrid([]int{7, 7}, gen.UniformWeights(0, 4), rng)
+	shifted, _ := gen.PotentialShift(grid.G, 8, rng)
+	o := buildOracle(t, shifted, &separator.CoordinateFinder{Coord: grid.Coord}, 4)
+	for _, u := range []int{0, 24, 48} {
+		want, err := baseline.BellmanFord(shifted, u, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := range want {
+			if got := o.Dist(u, v, nil); !almost(got, want[v]) {
+				t.Fatalf("dist(%d,%d)=%v want %v", u, v, got, want[v])
+			}
+		}
+	}
+}
+
+func TestOracleDirectedAsymmetry(t *testing.T) {
+	// One-way ring: d(u,v) != d(v,u) almost everywhere.
+	n := 12
+	b := graph.NewBuilder(n)
+	for i := 0; i < n; i++ {
+		b.AddEdge(i, (i+1)%n, 1)
+	}
+	g := b.Build()
+	o := buildOracle(t, g, &separator.BFSFinder{}, 3)
+	for u := 0; u < n; u++ {
+		for v := 0; v < n; v++ {
+			want := float64((v - u + n) % n)
+			if got := o.Dist(u, v, nil); !almost(got, want) {
+				t.Fatalf("dist(%d,%d)=%v want %v", u, v, got, want)
+			}
+		}
+	}
+}
+
+func TestOracleUnreachable(t *testing.T) {
+	b := graph.NewBuilder(6)
+	b.AddEdge(0, 1, 1)
+	b.AddEdge(1, 2, 1)
+	b.AddBoth(3, 4, 1)
+	o := buildOracle(t, b.Build(), &separator.BFSFinder{}, 2)
+	if d := o.Dist(0, 3, nil); !math.IsInf(d, 1) {
+		t.Fatalf("dist(0,3)=%v want +Inf", d)
+	}
+	if d := o.Dist(2, 0, nil); !math.IsInf(d, 1) {
+		t.Fatalf("dist(2,0)=%v want +Inf (one-way chain)", d)
+	}
+}
+
+func TestOracleLabelSizeCompact(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	grid := gen.NewGrid([]int{24, 24}, gen.UnitWeights(), rng)
+	o := buildOracle(t, grid.G, &separator.CoordinateFinder{Coord: grid.Coord}, 6)
+	n := float64(grid.G.N())
+	// O(n^{1.5}) with a modest constant; n² would be 331k.
+	if float64(o.LabelSize()) > 8*n*math.Sqrt(n) {
+		t.Fatalf("labels=%d exceed 8·n^1.5=%v", o.LabelSize(), 8*n*math.Sqrt(n))
+	}
+	if o.LabelSize() < int(n) {
+		t.Fatalf("labels=%d suspiciously small", o.LabelSize())
+	}
+}
+
+func TestOraclePairsBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	grid := gen.NewGrid([]int{9, 9}, gen.UniformWeights(1, 2), rng)
+	o := buildOracle(t, grid.G, &separator.CoordinateFinder{Coord: grid.Coord}, 4)
+	var pairs [][2]int
+	for k := 0; k < 40; k++ {
+		pairs = append(pairs, [2]int{rng.Intn(81), rng.Intn(81)})
+	}
+	st := &pram.Stats{}
+	got := o.Pairs(pairs, pram.NewExecutor(4), st)
+	for i, p := range pairs {
+		want, _ := baseline.BellmanFord(grid.G, p[0], nil)
+		if !almost(got[i], want[p[1]]) {
+			t.Fatalf("pair %v: %v want %v", p, got[i], want[p[1]])
+		}
+	}
+	if st.Work() == 0 {
+		t.Fatal("no work counted")
+	}
+}

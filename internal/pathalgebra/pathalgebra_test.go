@@ -1,0 +1,175 @@
+package pathalgebra
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"sepsp/internal/graph"
+	"sepsp/internal/graph/gen"
+	"sepsp/internal/semiring"
+	"sepsp/internal/separator"
+)
+
+// refClosure computes the reference single-source row with a generic
+// Bellman-Ford run to fixpoint.
+func refClosure[T any](sr semiring.Semiring[T], n int, edges []Edge[T], src int) []T {
+	dist := make([]T, n)
+	for i := range dist {
+		dist[i] = sr.Zero()
+	}
+	dist[src] = sr.One()
+	for it := 0; it <= n; it++ {
+		changed := false
+		for _, ed := range edges {
+			nv := sr.Plus(dist[ed.To], sr.Times(dist[ed.From], ed.W))
+			if !sr.Eq(nv, dist[ed.To]) {
+				dist[ed.To] = nv
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return dist
+}
+
+func gridInstance(t testing.TB, seed int64, wf func(*rand.Rand) float64) (int, []Edge[float64], *separator.Tree) {
+	rng := rand.New(rand.NewSource(seed))
+	w, h := 4+rng.Intn(5), 4+rng.Intn(5)
+	grid := gen.NewGrid([]int{w, h}, gen.UnitWeights(), rng)
+	var edges []Edge[float64]
+	grid.G.Edges(func(from, to int, _ float64) bool {
+		edges = append(edges, Edge[float64]{from, to, wf(rng)})
+		return true
+	})
+	sk := graph.NewSkeleton(grid.G)
+	tree, err := separator.Build(sk, &separator.CoordinateFinder{Coord: grid.Coord}, separator.Options{LeafSize: 4})
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return grid.G.N(), edges, tree
+}
+
+func checkSemiring[T any](t *testing.T, name string, sr semiring.Semiring[T],
+	mk func(testing.TB, int64) (int, []Edge[T], *separator.Tree)) {
+	f := func(seed int64) bool {
+		n, edges, tree := mk(t, seed)
+		eng, err := New(sr, n, edges, tree)
+		if err != nil {
+			t.Errorf("%s: New: %v", name, err)
+			return false
+		}
+		rng := rand.New(rand.NewSource(seed ^ 0x5eed))
+		for trial := 0; trial < 3; trial++ {
+			src := rng.Intn(n)
+			want := refClosure(sr, n, edges, src)
+			got := eng.SingleSource(src)
+			for v := range want {
+				if !sr.Eq(got[v], want[v]) {
+					t.Errorf("%s seed=%d src=%d v=%d: got %v want %v", name, seed, src, v, got[v], want[v])
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMinPlusGeneric(t *testing.T) {
+	checkSemiring[float64](t, "minplus", semiring.MinPlus{}, func(tb testing.TB, seed int64) (int, []Edge[float64], *separator.Tree) {
+		return gridInstance(tb, seed, func(rng *rand.Rand) float64 { return float64(1 + rng.Intn(9)) })
+	})
+}
+
+func TestBottleneckGeneric(t *testing.T) {
+	checkSemiring[float64](t, "bottleneck", semiring.Bottleneck{}, func(tb testing.TB, seed int64) (int, []Edge[float64], *separator.Tree) {
+		return gridInstance(tb, seed, func(rng *rand.Rand) float64 { return float64(rng.Intn(100)) })
+	})
+}
+
+func TestMinMaxGeneric(t *testing.T) {
+	checkSemiring[float64](t, "minimax", semiring.MinMax{}, func(tb testing.TB, seed int64) (int, []Edge[float64], *separator.Tree) {
+		return gridInstance(tb, seed, func(rng *rand.Rand) float64 { return float64(rng.Intn(100)) })
+	})
+}
+
+func TestReliabilityGeneric(t *testing.T) {
+	// Powers of 1/2 keep products exact, so Eq comparisons are safe.
+	checkSemiring[float64](t, "reliability", semiring.Reliability{}, func(tb testing.TB, seed int64) (int, []Edge[float64], *separator.Tree) {
+		return gridInstance(tb, seed, func(rng *rand.Rand) float64 {
+			return 1.0 / float64(int(1)<<uint(rng.Intn(4)))
+		})
+	})
+}
+
+func TestBooleanGeneric(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 10 + rng.Intn(50)
+		g := gen.RandomDigraph(n, 2*n, gen.UnitWeights(), rng)
+		var edges []Edge[bool]
+		g.Edges(func(from, to int, _ float64) bool {
+			edges = append(edges, Edge[bool]{from, to, true})
+			return true
+		})
+		sk := graph.NewSkeleton(g)
+		tree, err := separator.Build(sk, &separator.BFSFinder{}, separator.Options{LeafSize: 5})
+		if err != nil {
+			t.Errorf("Build: %v", err)
+			return false
+		}
+		sr := semiring.Boolean{}
+		eng, err := New[bool](sr, n, edges, tree)
+		if err != nil {
+			t.Errorf("New: %v", err)
+			return false
+		}
+		src := rng.Intn(n)
+		want := refClosure[bool](sr, n, edges, src)
+		got := eng.SingleSource(src)
+		for v := range want {
+			if got[v] != want[v] {
+				t.Errorf("seed=%d v=%d: %v vs %v", seed, v, got[v], want[v])
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSourcesMatchesSingleSource(t *testing.T) {
+	n, edges, tree := gridInstance(t, 11, func(rng *rand.Rand) float64 { return float64(1 + rng.Intn(5)) })
+	eng, err := New[float64](semiring.MinPlus{}, n, edges, tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srcs := []int{0, n / 2, n - 1}
+	rows := eng.Sources(srcs)
+	for i, s := range srcs {
+		single := eng.SingleSource(s)
+		for v := range single {
+			if rows[i][v] != single[v] {
+				t.Fatalf("src=%d v=%d", s, v)
+			}
+		}
+	}
+}
+
+func TestShortcutCountPositive(t *testing.T) {
+	n, edges, tree := gridInstance(t, 7, func(rng *rand.Rand) float64 { return 1 })
+	eng, err := New[float64](semiring.MinPlus{}, n, edges, tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eng.ShortcutCount() == 0 {
+		t.Fatal("no shortcuts generated")
+	}
+}

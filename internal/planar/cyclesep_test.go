@@ -1,0 +1,136 @@
+package planar
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"sepsp/internal/baseline"
+	"sepsp/internal/core"
+	"sepsp/internal/graph"
+	"sepsp/internal/graph/gen"
+	"sepsp/internal/separator"
+)
+
+func TestGridEmbeddingIsPlanar(t *testing.T) {
+	for _, wh := range [][2]int{{2, 2}, {5, 3}, {9, 9}, {1, 7}} {
+		em := GridEmbedding(wh[0], wh[1])
+		if err := em.EulerCheck(1); err != nil {
+			t.Fatalf("%v: %v", wh, err)
+		}
+		// (w-1)(h-1) inner faces + outer.
+		want := (wh[0]-1)*(wh[1]-1) + 1
+		if got := len(em.Faces()); got != want {
+			t.Fatalf("%v: faces=%d want %d", wh, got, want)
+		}
+	}
+}
+
+func TestCycleFinderOnGrids(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		w, h := 3+rng.Intn(10), 3+rng.Intn(10)
+		grid := gen.NewGrid([]int{w, h}, gen.UniformWeights(0.5, 2), rng)
+		em := GridEmbedding(w, h)
+		sk := graph.NewSkeleton(grid.G)
+		tree, err := separator.Build(sk, &CycleFinder{Em: em}, separator.Options{LeafSize: 4})
+		if err != nil {
+			t.Errorf("seed=%d: Build: %v", seed, err)
+			return false
+		}
+		if err := tree.Validate(sk); err != nil {
+			t.Errorf("seed=%d: Validate: %v", seed, err)
+			return false
+		}
+		eng, err := core.NewEngine(grid.G, tree, core.Config{})
+		if err != nil {
+			t.Errorf("seed=%d: NewEngine: %v", seed, err)
+			return false
+		}
+		src := rng.Intn(grid.G.N())
+		want, _ := baseline.BellmanFord(grid.G, src, nil)
+		got := eng.SSSP(src, nil)
+		for v := range want {
+			if got[v] != want[v] {
+				diff := got[v] - want[v]
+				if diff < 0 {
+					diff = -diff
+				}
+				if diff > 1e-9*(1+want[v]) {
+					t.Errorf("seed=%d v=%d: %v want %v", seed, v, got[v], want[v])
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCycleFinderSeparatorQuality(t *testing.T) {
+	// On the square grid, fundamental cycles of BFS non-tree edges give
+	// O(√n)-ish separators; check the realized tree is not degenerate.
+	grid := gen.NewGrid([]int{16, 16}, gen.UnitWeights(), rand.New(rand.NewSource(1)))
+	em := GridEmbedding(16, 16)
+	sk := graph.NewSkeleton(grid.G)
+	tree, err := separator.Build(sk, &CycleFinder{Em: em}, separator.Options{LeafSize: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tree.Validate(sk); err != nil {
+		t.Fatal(err)
+	}
+	if tree.Height > 40 {
+		t.Fatalf("degenerate tree height %d", tree.Height)
+	}
+	if tree.MaxSeparatorSize() > 64 { // 4·√256
+		t.Fatalf("separator %d too large for n=256", tree.MaxSeparatorSize())
+	}
+}
+
+func TestCycleFinderOnHammockChain(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	hg := NewHammockChain(6, 4, Ring, gen.UniformWeights(0.5, 2), rng)
+	sk := graph.NewSkeleton(hg.G)
+	tree, err := separator.Build(sk, &CycleFinder{Em: hg.Embedding}, separator.Options{LeafSize: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tree.Validate(sk); err != nil {
+		t.Fatal(err)
+	}
+	eng, err := core.NewEngine(hg.G, tree, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := baseline.BellmanFord(hg.G, 3, nil)
+	got := eng.SSSP(3, nil)
+	for v := range want {
+		d := got[v] - want[v]
+		if d < 0 {
+			d = -d
+		}
+		if d > 1e-9*(1+want[v]) {
+			t.Fatalf("v=%d: %v want %v", v, got[v], want[v])
+		}
+	}
+}
+
+func TestFundamentalCycle(t *testing.T) {
+	// Path tree 0-1-2-3-4 plus edge (0,4): cycle must be 0..4.
+	parent := []int{-1, 0, 1, 2, 3}
+	depth := []int{0, 1, 2, 3, 4}
+	cyc := fundamentalCycle(4, 0, parent, depth)
+	if len(cyc) != 5 {
+		t.Fatalf("cycle=%v", cyc)
+	}
+	// Balanced LCA case: star paths 0-1-2 and 0-3-4, edge (2,4).
+	parent = []int{-1, 0, 1, 0, 3}
+	depth = []int{0, 1, 2, 1, 2}
+	cyc = fundamentalCycle(2, 4, parent, depth)
+	if len(cyc) != 5 || cyc[2] != 0 {
+		t.Fatalf("cycle=%v (LCA should be in the middle)", cyc)
+	}
+}

@@ -1,0 +1,110 @@
+package planar
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"sepsp/internal/baseline"
+	"sepsp/internal/core"
+	"sepsp/internal/graph"
+	"sepsp/internal/graph/gen"
+	"sepsp/internal/separator"
+)
+
+func TestDelaunayEmbeddingIsPlanar(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 10 + rng.Intn(150)
+		d := gen.NewDelaunay(n, gen.UnitWeights(), rng)
+		em := NewEmbeddingFromRotations(d.Rotation)
+		if err := em.EulerCheck(1); err != nil {
+			t.Errorf("seed=%d n=%d: %v", seed, n, err)
+			return false
+		}
+		// A triangulation of points in general position has 2n - 2 - h
+		// faces (h = hull size), so at least n faces for n >= 10.
+		if len(em.Faces()) < 3 {
+			t.Errorf("seed=%d: only %d faces", seed, len(em.Faces()))
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDelaunayEdgesAreMetric(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	d := gen.NewDelaunay(100, gen.UnitWeights(), rng)
+	d.G.Edges(func(from, to int, w float64) bool {
+		dx := d.Points[from][0] - d.Points[to][0]
+		dy := d.Points[from][1] - d.Points[to][1]
+		want := dx*dx + dy*dy
+		if diff := w*w - want; diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("edge (%d,%d) weight %v != euclidean", from, to, w)
+		}
+		return true
+	})
+}
+
+func TestDelaunayEndToEndWithCycleFinder(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 40 + rng.Intn(250)
+		d := gen.NewDelaunay(n, gen.UnitWeights(), rng)
+		em := NewEmbeddingFromRotations(d.Rotation)
+		sk := graph.NewSkeleton(d.G)
+		tree, err := separator.Build(sk, &CycleFinder{Em: em}, separator.Options{LeafSize: 8})
+		if err != nil {
+			t.Errorf("seed=%d: Build: %v", seed, err)
+			return false
+		}
+		if err := tree.Validate(sk); err != nil {
+			t.Errorf("seed=%d: Validate: %v", seed, err)
+			return false
+		}
+		eng, err := core.NewEngine(d.G, tree, core.Config{})
+		if err != nil {
+			t.Errorf("seed=%d: NewEngine: %v", seed, err)
+			return false
+		}
+		src := rng.Intn(n)
+		want, _ := baseline.BellmanFord(d.G, src, nil)
+		got := eng.SSSP(src, nil)
+		for v := range want {
+			diff := got[v] - want[v]
+			if diff < 0 {
+				diff = -diff
+			}
+			if diff > 1e-9*(1+want[v]) {
+				t.Errorf("seed=%d v=%d: %v want %v", seed, v, got[v], want[v])
+				return false
+			}
+		}
+		return core.VerifyDistances(d.G, src, got, 1e-9) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDelaunaySeparatorQuality(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	d := gen.NewDelaunay(800, gen.UnitWeights(), rng)
+	em := NewEmbeddingFromRotations(d.Rotation)
+	sk := graph.NewSkeleton(d.G)
+	tree, err := separator.Build(sk, &CycleFinder{Em: em}, separator.Options{LeafSize: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.Height > 60 {
+		t.Fatalf("degenerate height %d", tree.Height)
+	}
+	// Not a hard O(√n) guarantee without triangulated L-T, but the greedy
+	// cycles should stay well below n.
+	if tree.MaxSeparatorSize() > 200 {
+		t.Fatalf("separator %d too large for n=800", tree.MaxSeparatorSize())
+	}
+}

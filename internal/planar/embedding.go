@@ -1,0 +1,190 @@
+// Package planar implements the Section 6 machinery: combinatorial planar
+// embeddings (rotation systems) with face enumeration, outerplanar "hammock"
+// building blocks, generators for hammock-decomposed planar digraphs, the
+// contracted graph G' on attachment vertices with its planar proxy G”
+// (4-cycle plus hub per hammock), and the q-faces query pipeline that plugs
+// the separator engine into the Frederickson/Pantziou framework.
+//
+// What the paper obtains from the (intricate) hammock-decomposition
+// algorithm, this package obtains from generators that emit the
+// decomposition they built — see DESIGN.md's substitution table. Everything
+// downstream of the decomposition (per-hammock tables, G', separators of
+// G”, the combine step) is implemented faithfully.
+package planar
+
+import (
+	"fmt"
+)
+
+// Embedding is a rotation system: for every vertex, the cyclic order of its
+// incident undirected edges. Edges are numbered 0..E-1; each edge has two
+// darts (2e for the dart leaving its lower endpoint u, 2e+1 for the dart
+// leaving v).
+type Embedding struct {
+	n     int
+	eu    []int   // edge -> endpoint u
+	ev    []int   // edge -> endpoint v
+	rot   [][]int // rot[v] = cyclic list of darts leaving v
+	pos   map[int]int
+	faces [][]int // computed by Faces
+}
+
+// NewEmbedding creates an embedding with n vertices and no edges.
+func NewEmbedding(n int) *Embedding {
+	return &Embedding{n: n, rot: make([][]int, n), pos: make(map[int]int)}
+}
+
+// NewEmbeddingFromRotations builds an embedding directly from per-vertex
+// neighbor lists in rotation order (e.g. the angular orders of a Delaunay
+// triangulation). Each undirected edge {u, v} must appear exactly once in
+// u's list and once in v's.
+func NewEmbeddingFromRotations(rots [][]int) *Embedding {
+	em := NewEmbedding(len(rots))
+	em.setRotations(rots)
+	return em
+}
+
+// N returns the vertex count; E the undirected edge count.
+func (em *Embedding) N() int { return em.n }
+
+// E returns the number of undirected edges.
+func (em *Embedding) E() int { return len(em.eu) }
+
+// AddEdge appends an undirected edge {u, v} at the end of both rotation
+// lists and returns its id. Callers build precise embeddings by adding edges
+// in rotation order around each vertex (the order of AddEdge calls is the
+// rotation order).
+func (em *Embedding) AddEdge(u, v int) int {
+	if u < 0 || u >= em.n || v < 0 || v >= em.n || u == v {
+		panic(fmt.Sprintf("planar: bad edge (%d,%d)", u, v))
+	}
+	id := len(em.eu)
+	em.eu = append(em.eu, u)
+	em.ev = append(em.ev, v)
+	du, dv := 2*id, 2*id+1
+	em.pos[du] = len(em.rot[u])
+	em.rot[u] = append(em.rot[u], du)
+	em.pos[dv] = len(em.rot[v])
+	em.rot[v] = append(em.rot[v], dv)
+	em.faces = nil
+	return id
+}
+
+// dartTail returns the vertex a dart leaves; dartHead the vertex it enters.
+func (em *Embedding) dartTail(d int) int {
+	if d%2 == 0 {
+		return em.eu[d/2]
+	}
+	return em.ev[d/2]
+}
+
+func (em *Embedding) dartHead(d int) int {
+	if d%2 == 0 {
+		return em.ev[d/2]
+	}
+	return em.eu[d/2]
+}
+
+// twin returns the opposite dart of the same edge.
+func twin(d int) int { return d ^ 1 }
+
+// Faces enumerates the faces of the embedding by the standard face-tracing
+// rule: from dart d (u→v), the next dart is the successor of twin(d) in the
+// rotation at v. Each face is returned as the cyclic list of vertices on its
+// boundary walk. The result is cached.
+func (em *Embedding) Faces() [][]int {
+	if em.faces != nil {
+		return em.faces
+	}
+	next := func(d int) int {
+		t := twin(d)
+		v := em.dartTail(t)
+		i := em.pos[t]
+		return em.rot[v][(i+1)%len(em.rot[v])]
+	}
+	seen := make([]bool, 2*len(em.eu))
+	var faces [][]int
+	for d0 := range seen {
+		if seen[d0] {
+			continue
+		}
+		var walk []int
+		d := d0
+		for !seen[d] {
+			seen[d] = true
+			walk = append(walk, em.dartTail(d))
+			d = next(d)
+		}
+		faces = append(faces, walk)
+	}
+	em.faces = faces
+	return faces
+}
+
+// EulerCheck verifies V - E + F = 2 for a connected embedding (the
+// certificate that the rotation system describes a planar (genus-0)
+// embedding). components must be the number of connected components; the
+// generalized formula is V - E + F = 1 + components.
+func (em *Embedding) EulerCheck(components int) error {
+	f := len(em.Faces())
+	lhs := em.n - em.E() + f
+	if lhs != 1+components {
+		return fmt.Errorf("planar: Euler check failed: V-E+F = %d-%d+%d = %d, want %d (genus > 0 or bad rotation)",
+			em.n, em.E(), f, lhs, 1+components)
+	}
+	return nil
+}
+
+// FacesContaining returns, for each vertex, the set of face indices whose
+// boundary walk visits it.
+func (em *Embedding) FacesContaining() [][]int {
+	faces := em.Faces()
+	out := make([][]int, em.n)
+	for fi, walk := range faces {
+		last := -1
+		for _, v := range walk {
+			if v != last { // avoid trivial duplicates from consecutive visits
+				out[v] = append(out[v], fi)
+			}
+			last = v
+		}
+	}
+	return out
+}
+
+// CoverFaceCount returns the minimum known count of faces needed so every
+// vertex lies on at least one of them, computed greedily (set cover
+// heuristic — the exact minimum is NP-complete, as Frederickson notes; the
+// paper likewise uses an approximation).
+func (em *Embedding) CoverFaceCount() int {
+	faces := em.Faces()
+	uncovered := make(map[int]bool, em.n)
+	for v := 0; v < em.n; v++ {
+		if len(em.rot[v]) > 0 {
+			uncovered[v] = true
+		}
+	}
+	count := 0
+	for len(uncovered) > 0 {
+		best, bestGain := -1, 0
+		for fi, walk := range faces {
+			gain := 0
+			for _, v := range walk {
+				if uncovered[v] {
+					gain++
+				}
+			}
+			if gain > bestGain {
+				best, bestGain = fi, gain
+			}
+		}
+		if best < 0 {
+			break
+		}
+		for _, v := range faces[best] {
+			delete(uncovered, v)
+		}
+		count++
+	}
+	return count
+}

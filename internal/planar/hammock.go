@@ -1,0 +1,258 @@
+package planar
+
+import (
+	"fmt"
+	"math/rand"
+
+	"sepsp/internal/graph"
+	"sepsp/internal/graph/gen"
+)
+
+// Hammock is one outerplanar piece of a hammock decomposition: a set of
+// vertices attached to the rest of the graph through (at most) four
+// attachment vertices, as in Frederickson's decomposition.
+type Hammock struct {
+	// Vertices of the hammock, global ids, sorted.
+	Vertices []int
+	// Attach are the attachment vertices in NW, SW, NE, SE order; every
+	// edge leaving the hammock is incident to one of them.
+	Attach [4]int
+}
+
+// HammockGraph is a digraph together with its hammock decomposition. The
+// generator emits the decomposition it builds, standing in for the paper's
+// hammock-decomposition computation (see DESIGN.md).
+type HammockGraph struct {
+	G        *graph.Digraph
+	Hammocks []Hammock
+	// HammockOf[v] = index of the hammock containing v.
+	HammockOf []int
+	// Embedding is the rotation system of the undirected skeleton, used to
+	// certify planarity and count faces.
+	Embedding *Embedding
+}
+
+// Validate checks the decomposition invariants: hammocks partition V, and
+// every inter-hammock edge joins attachment vertices.
+func (hg *HammockGraph) Validate() error {
+	seen := make([]bool, hg.G.N())
+	for hi, h := range hg.Hammocks {
+		for _, v := range h.Vertices {
+			if seen[v] {
+				return fmt.Errorf("planar: vertex %d in two hammocks", v)
+			}
+			seen[v] = true
+			if hg.HammockOf[v] != hi {
+				return fmt.Errorf("planar: HammockOf[%d] = %d, want %d", v, hg.HammockOf[v], hi)
+			}
+		}
+		for _, a := range h.Attach {
+			if hg.HammockOf[a] != hi {
+				return fmt.Errorf("planar: attachment %d not inside its hammock", a)
+			}
+		}
+	}
+	for _, v := range seen {
+		if !v {
+			return fmt.Errorf("planar: hammocks do not cover all vertices")
+		}
+	}
+	var err error
+	hg.G.Edges(func(from, to int, _ float64) bool {
+		hf, ht := hg.HammockOf[from], hg.HammockOf[to]
+		if hf != ht {
+			if !isAttachment(hg.Hammocks[hf], from) || !isAttachment(hg.Hammocks[ht], to) {
+				err = fmt.Errorf("planar: inter-hammock edge (%d,%d) not between attachments", from, to)
+				return false
+			}
+		}
+		return true
+	})
+	return err
+}
+
+func isAttachment(h Hammock, v int) bool {
+	for _, a := range h.Attach {
+		if a == v {
+			return true
+		}
+	}
+	return false
+}
+
+// ChainShape selects the global arrangement of the generated hammocks.
+type ChainShape int
+
+const (
+	// Path arranges the hammocks in an open chain.
+	Path ChainShape = iota
+	// Ring closes the chain into a cycle (the smallest arrangement whose
+	// face structure genuinely depends on the hammock count).
+	Ring
+)
+
+// NewHammockChain generates a planar digraph made of q ladder hammocks
+// (2×width outerplanar grids) glued corner-to-corner in a path or ring.
+// Edge weights come from wf (independent per direction). The number of
+// hammocks q plays the role of the paper's q (all vertices lie on O(q)
+// faces of the emitted embedding).
+func NewHammockChain(q, width int, shape ChainShape, wf gen.WeightFn, rng *rand.Rand) *HammockGraph {
+	if q < 1 || width < 2 {
+		panic("planar: need q >= 1, width >= 2")
+	}
+	if shape == Ring && q < 2 {
+		panic("planar: ring needs q >= 2")
+	}
+	perH := 2 * width
+	n := q * perH
+	b := graph.NewBuilder(n)
+	em := NewEmbedding(n)
+	hg := &HammockGraph{Hammocks: make([]Hammock, q), HammockOf: make([]int, n), Embedding: em}
+
+	vid := func(h, row, col int) int { return h*perH + row*width + col }
+	addBoth := func(u, v int) {
+		b.AddEdge(u, v, wf(rng, u, v))
+		b.AddEdge(v, u, wf(rng, v, u))
+	}
+	for h := 0; h < q; h++ {
+		var verts []int
+		for r := 0; r < 2; r++ {
+			for c := 0; c < width; c++ {
+				v := vid(h, r, c)
+				verts = append(verts, v)
+				hg.HammockOf[v] = h
+			}
+		}
+		// Ladder edges: rails and rungs.
+		for c := 0; c+1 < width; c++ {
+			addBoth(vid(h, 0, c), vid(h, 0, c+1))
+			addBoth(vid(h, 1, c), vid(h, 1, c+1))
+		}
+		for c := 0; c < width; c++ {
+			addBoth(vid(h, 0, c), vid(h, 1, c))
+		}
+		hg.Hammocks[h] = Hammock{
+			Vertices: verts,
+			Attach: [4]int{
+				vid(h, 0, 0),       // NW
+				vid(h, 1, 0),       // SW
+				vid(h, 0, width-1), // NE
+				vid(h, 1, width-1), // SE
+			},
+		}
+	}
+	links := q - 1
+	if shape == Ring {
+		links = q
+	}
+	for h := 0; h < links; h++ {
+		next := (h + 1) % q
+		addBoth(vid(h, 0, width-1), vid(next, 0, 0)) // NE -> NW
+		addBoth(vid(h, 1, width-1), vid(next, 1, 0)) // SE -> SW
+	}
+	hg.G = b.Build()
+	buildLadderEmbedding(em, q, width, shape, vid)
+	return hg
+}
+
+// buildLadderEmbedding constructs the rotation system of the chained-ladder
+// skeleton. Rotation orders are given clockwise assuming row 0 on top,
+// columns increasing to the right, hammocks left to right.
+func buildLadderEmbedding(em *Embedding, q, width int, shape ChainShape, vid func(h, row, col int) int) {
+	// Collect undirected neighbor lists in clockwise rotation order:
+	// top row: west, north-of-nothing, east, south  ->  (W, E, S)
+	// bottom row: (W, N, E) up to cyclic rotation.
+	n := em.N()
+	rots := make([][]int, n)
+	west := func(h, r, c int) (int, bool) {
+		if c > 0 {
+			return vid(h, r, c-1), true
+		}
+		if h > 0 || shape == Ring {
+			return vid((h-1+q)%q, r, width-1), h > 0 || shape == Ring
+		}
+		return 0, false
+	}
+	east := func(h, r, c int) (int, bool) {
+		if c+1 < width {
+			return vid(h, r, c+1), true
+		}
+		if h+1 < q || shape == Ring {
+			return vid((h+1)%q, r, 0), true
+		}
+		return 0, false
+	}
+	for h := 0; h < q; h++ {
+		for c := 0; c < width; c++ {
+			vT := vid(h, 0, c)
+			vB := vid(h, 1, c)
+			// Top vertex, clockwise: W, E, S.
+			if u, ok := west(h, 0, c); ok {
+				rots[vT] = append(rots[vT], u)
+			}
+			if u, ok := east(h, 0, c); ok {
+				rots[vT] = append(rots[vT], u)
+			}
+			rots[vT] = append(rots[vT], vB)
+			// Bottom vertex, clockwise: E, W, N -> consistent orientation:
+			// clockwise around a bottom vertex is E, W has to interleave
+			// with N as N, W? Use counterclockwise-consistent order: N, E
+			// then W reversed — the face-tracing only needs a coherent
+			// orientation, so mirror the top: E, W, N.
+			if u, ok := east(h, 1, c); ok {
+				rots[vB] = append(rots[vB], u)
+			}
+			if u, ok := west(h, 1, c); ok {
+				rots[vB] = append(rots[vB], u)
+			}
+			rots[vB] = append(rots[vB], vT)
+		}
+	}
+	// Emit edges so that each vertex's AddEdge order equals its rotation
+	// order: process vertices and append darts lazily. AddEdge appends to
+	// both endpoints, so emit each undirected edge once, ordered by a
+	// global pass that respects per-vertex rotation: we instead insert
+	// per-vertex orders directly.
+	em.setRotations(rots)
+}
+
+// setRotations installs explicit rotation lists given as neighbor ids. Each
+// undirected edge {u,v} must appear exactly once in u's list and once in
+// v's.
+func (em *Embedding) setRotations(rots [][]int) {
+	type key struct{ a, b int }
+	ids := make(map[key]int)
+	for u := range rots {
+		for _, v := range rots[u] {
+			a, b := u, v
+			if a > b {
+				a, b = b, a
+			}
+			k := key{a, b}
+			if _, ok := ids[k]; !ok {
+				id := len(em.eu)
+				em.eu = append(em.eu, a)
+				em.ev = append(em.ev, b)
+				ids[k] = id
+			}
+		}
+	}
+	em.rot = make([][]int, em.n)
+	em.pos = make(map[int]int)
+	for u := range rots {
+		for _, v := range rots[u] {
+			a, b := u, v
+			if a > b {
+				a, b = b, a
+			}
+			id := ids[key{a, b}]
+			d := 2 * id
+			if u != a {
+				d = 2*id + 1
+			}
+			em.pos[d] = len(em.rot[u])
+			em.rot[u] = append(em.rot[u], d)
+		}
+	}
+	em.faces = nil
+}

@@ -1,0 +1,218 @@
+package planar
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"sepsp/internal/baseline"
+	"sepsp/internal/graph"
+	"sepsp/internal/graph/gen"
+	"sepsp/internal/pram"
+	"sepsp/internal/separator"
+)
+
+func TestEmbeddingSquare(t *testing.T) {
+	// A single quadrilateral: 4 vertices, 4 edges, 2 faces.
+	em := NewEmbedding(4)
+	rots := [][]int{
+		{1, 3}, // 0: clockwise E then S (square 0-1-2-3)
+		{2, 0},
+		{3, 1},
+		{0, 2},
+	}
+	em.setRotations(rots)
+	if em.E() != 4 {
+		t.Fatalf("E=%d", em.E())
+	}
+	if got := len(em.Faces()); got != 2 {
+		t.Fatalf("faces=%d want 2", got)
+	}
+	if err := em.EulerCheck(1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHammockChainEmbeddingIsPlanar(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, shape := range []ChainShape{Path, Ring} {
+		for _, q := range []int{2, 3, 7} {
+			hg := NewHammockChain(q, 4, shape, gen.UnitWeights(), rng)
+			if err := hg.Validate(); err != nil {
+				t.Fatalf("shape=%v q=%d: %v", shape, q, err)
+			}
+			if err := hg.Embedding.EulerCheck(1); err != nil {
+				t.Fatalf("shape=%v q=%d: %v", shape, q, err)
+			}
+		}
+	}
+}
+
+func TestHammockChainFaceCountGrowsWithQ(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	f3 := len(NewHammockChain(3, 4, Ring, gen.UnitWeights(), rng).Embedding.Faces())
+	f9 := len(NewHammockChain(9, 4, Ring, gen.UnitWeights(), rng).Embedding.Faces())
+	if f9 <= f3 {
+		t.Fatalf("faces: q=3 -> %d, q=9 -> %d", f3, f9)
+	}
+}
+
+func TestCoverFaceCount(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	hg := NewHammockChain(4, 3, Path, gen.UnitWeights(), rng)
+	c := hg.Embedding.CoverFaceCount()
+	if c < 1 || c > len(hg.Embedding.Faces()) {
+		t.Fatalf("cover count %d out of range", c)
+	}
+	// For a ladder chain, the single outer face touches every vertex.
+	if c != 1 {
+		t.Fatalf("ladder chain outer face covers everything; got %d", c)
+	}
+}
+
+func TestQFaceEngineMatchesBellmanFord(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		q := 2 + rng.Intn(6)
+		width := 2 + rng.Intn(4)
+		shape := Path
+		if rng.Intn(2) == 0 && q >= 2 {
+			shape = Ring
+		}
+		hg := NewHammockChain(q, width, shape, gen.UniformWeights(0.5, 4), rng)
+		eng, err := NewQFaceEngine(hg, nil, nil)
+		if err != nil {
+			t.Errorf("NewQFaceEngine: %v", err)
+			return false
+		}
+		for trial := 0; trial < 3; trial++ {
+			u := rng.Intn(hg.G.N())
+			want, err := baseline.BellmanFord(hg.G, u, nil)
+			if err != nil {
+				t.Errorf("BF: %v", err)
+				return false
+			}
+			got := eng.SSSP(u, nil)
+			for v := range want {
+				if !almost(got[v], want[v]) {
+					t.Errorf("seed=%d u=%d v=%d: qface %v bf %v", seed, u, v, got[v], want[v])
+					return false
+				}
+				if d := eng.Dist(u, v); !almost(d, want[v]) {
+					t.Errorf("seed=%d Dist(%d,%d)=%v want %v", seed, u, v, d, want[v])
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func almost(a, b float64) bool {
+	if math.IsInf(a, 1) || math.IsInf(b, 1) {
+		return math.IsInf(a, 1) && math.IsInf(b, 1)
+	}
+	return math.Abs(a-b) <= 1e-9*(1+math.Max(math.Abs(a), math.Abs(b)))
+}
+
+func TestQFaceEngineNegativeWeights(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	hg := NewHammockChain(4, 3, Ring, gen.UniformWeights(0, 3), rng)
+	shifted, _ := gen.PotentialShift(hg.G, 5, rng)
+	hg2 := &HammockGraph{G: shifted, Hammocks: hg.Hammocks, HammockOf: hg.HammockOf, Embedding: hg.Embedding}
+	eng, err := NewQFaceEngine(hg2, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := 5
+	want, err := baseline.BellmanFord(shifted, u, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := eng.SSSP(u, nil)
+	for v := range want {
+		if !almost(got[v], want[v]) {
+			t.Fatalf("v=%d: %v vs %v", v, got[v], want[v])
+		}
+	}
+}
+
+func TestQFaceEngineDetectsNegativeCycle(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	hg := NewHammockChain(3, 3, Ring, gen.UniformWeights(0.5, 1), rng)
+	// Make the whole ring negative by planting a strongly negative
+	// connector edge cycle: add antiparallel negative edges inside one
+	// hammock.
+	b := graph.NewBuilder(hg.G.N())
+	hg.G.Edges(func(from, to int, w float64) bool {
+		b.AddEdge(from, to, w)
+		return true
+	})
+	v0 := hg.Hammocks[0].Vertices[0]
+	v1 := hg.Hammocks[0].Vertices[1]
+	b.AddEdge(v0, v1, -3)
+	b.AddEdge(v1, v0, 1)
+	hg2 := &HammockGraph{G: b.Build(), Hammocks: hg.Hammocks, HammockOf: hg.HammockOf, Embedding: hg.Embedding}
+	if _, err := NewQFaceEngine(hg2, nil, nil); err == nil {
+		t.Fatal("expected negative-cycle error")
+	}
+}
+
+func TestQFaceEngineValidatesDecomposition(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	hg := NewHammockChain(3, 3, Path, gen.UnitWeights(), rng)
+	// Corrupt: connect two hammock interiors directly.
+	b := graph.NewBuilder(hg.G.N())
+	hg.G.Edges(func(from, to int, w float64) bool {
+		b.AddEdge(from, to, w)
+		return true
+	})
+	// interior vertices: column 1 of hammocks 0 and 2
+	b.AddEdge(hg.Hammocks[0].Vertices[1], hg.Hammocks[2].Vertices[1], 1)
+	hg2 := &HammockGraph{G: b.Build(), Hammocks: hg.Hammocks, HammockOf: hg.HammockOf, Embedding: hg.Embedding}
+	if _, err := NewQFaceEngine(hg2, nil, nil); err == nil {
+		t.Fatal("expected decomposition validation error")
+	}
+}
+
+func TestProxyFinderProducesValidTree(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	hg := NewHammockChain(12, 3, Ring, gen.UniformWeights(1, 2), rng)
+	eng, err := NewQFaceEngine(hg, pram.NewExecutor(4), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gp := eng.GPrime()
+	sk := graph.NewSkeleton(gp)
+	hammockOfPrime := make([]int, gp.N())
+	for i, a := range eng.atts {
+		hammockOfPrime[i] = hg.HammockOf[a]
+	}
+	tree, err := separator.Build(sk, &ProxyFinder{HammockOf: hammockOfPrime, NumHammocks: len(hg.Hammocks)}, separator.Options{LeafSize: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tree.Validate(sk); err != nil {
+		t.Fatalf("proxy tree invalid: %v", err)
+	}
+}
+
+func TestGPrimeSize(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	hg := NewHammockChain(10, 6, Path, gen.UnitWeights(), rng)
+	eng, err := NewQFaceEngine(hg, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eng.GPrime().N() != 40 { // 4 attachments × 10 hammocks
+		t.Fatalf("|V(G')|=%d", eng.GPrime().N())
+	}
+	// O(q) edges: 12 within-K4 per hammock + 4 connectors per link.
+	if eng.GPrime().M() > 10*12+2*9*2 {
+		t.Fatalf("|E(G')|=%d too large", eng.GPrime().M())
+	}
+}

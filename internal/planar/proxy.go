@@ -1,0 +1,124 @@
+package planar
+
+import (
+	"sort"
+
+	"sepsp/internal/graph"
+	"sepsp/internal/separator"
+)
+
+// ProxyFinder is a separator.Finder for the contracted graph G'. G' is not
+// planar (each hammock contributes a K4 of attachment distances), so the
+// paper separates the planar proxy G” instead: every hammock's K4 is
+// replaced by a 4-cycle through its attachment vertices plus a "middle"
+// (hub) vertex adjacent to all four. A separator of G” maps back to a
+// separator of G' by replacing each hub with its hammock's attachment
+// vertices; the key observation making this sound is that a hub not in the
+// separator pins all its non-separator corners to one side (hub spokes are
+// G” edges), so no K4 edge of G' can cross the cut.
+//
+// ProxyFinder builds the G” restricted to the current subgraph on each
+// call, separates it with a BFS-level cut, and maps the result back — so it
+// composes with the generic recursive tree builder without any global
+// tree-transformation step.
+type ProxyFinder struct {
+	// HammockOf[v] = hammock index of G' vertex v.
+	HammockOf []int
+	// NumHammocks is the hammock count q.
+	NumHammocks int
+}
+
+// Separate implements separator.Finder.
+func (pf *ProxyFinder) Separate(sk *graph.Skeleton, sub []int) (sep, s1, s2 []int, err error) {
+	// G'' vertex space: G' vertices 0..n-1, then hub h -> n + h.
+	n := len(pf.HammockOf)
+	inSub := make(map[int]bool, len(sub))
+	hammocks := make(map[int][]int) // hammock -> present corners
+	for _, v := range sub {
+		inSub[v] = true
+		h := pf.HammockOf[v]
+		hammocks[h] = append(hammocks[h], v)
+	}
+	b := graph.NewBuilder(n + pf.NumHammocks)
+	// Hub spokes and 4-cycles (cycle edges between consecutive present
+	// corners in sorted order — the exact cyclic order is immaterial for
+	// the separator argument).
+	for h, corners := range hammocks {
+		sort.Ints(corners)
+		hub := n + h
+		for i, c := range corners {
+			b.AddBoth(hub, c, 1)
+			if len(corners) > 1 {
+				b.AddBoth(c, corners[(i+1)%len(corners)], 1)
+			}
+		}
+	}
+	// Inter-hammock edges of G' restricted to sub.
+	for _, v := range sub {
+		sk.Adj(v, func(u int) bool {
+			if inSub[u] && pf.HammockOf[u] != pf.HammockOf[v] && v < u {
+				b.AddBoth(v, u, 1)
+			}
+			return true
+		})
+	}
+	gpp := b.Build()
+	skpp := graph.NewSkeleton(gpp)
+	// Vertex set of G'': present corners plus present hubs.
+	var subpp []int
+	subpp = append(subpp, sub...)
+	for h := range hammocks {
+		subpp = append(subpp, n+h)
+	}
+	sort.Ints(subpp)
+	comps := skpp.SubComponents(subpp)
+	var spp, a1, a2 []int
+	if len(comps) > 1 {
+		// Disconnected: empty separator, balanced component packing.
+		sort.Slice(comps, func(i, j int) bool { return len(comps[i]) > len(comps[j]) })
+		for _, c := range comps {
+			if len(a1) <= len(a2) {
+				a1 = append(a1, c...)
+			} else {
+				a2 = append(a2, c...)
+			}
+		}
+	} else {
+		bf := separator.BFSFinder{}
+		spp, a1, a2, err = bf.Separate(skpp, subpp)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+	}
+	// Map back to G': expand hubs in the separator, drop hubs from sides.
+	sepSet := make(map[int]bool)
+	for _, v := range spp {
+		if v < n {
+			sepSet[v] = true
+		} else {
+			for _, c := range hammocks[v-n] {
+				sepSet[c] = true
+			}
+		}
+	}
+	take := func(side []int) []int {
+		var out []int
+		for _, v := range side {
+			if v < n && !sepSet[v] {
+				out = append(out, v)
+			}
+		}
+		return out
+	}
+	s1, s2 = take(a1), take(a2)
+	for v := range sepSet {
+		sep = append(sep, v)
+	}
+	sort.Ints(sep)
+	sort.Ints(s1)
+	sort.Ints(s2)
+	if len(s1) == 0 && len(s2) == 0 {
+		return nil, nil, nil, separator.ErrCannotSeparate
+	}
+	return sep, s1, s2, nil
+}

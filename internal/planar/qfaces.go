@@ -1,0 +1,242 @@
+package planar
+
+import (
+	"fmt"
+	"math"
+
+	"sepsp/internal/baseline"
+	"sepsp/internal/core"
+	"sepsp/internal/graph"
+	"sepsp/internal/matrix"
+	"sepsp/internal/pram"
+	"sepsp/internal/separator"
+)
+
+// QFaceEngine is the Section 6 pipeline: shortest paths on planar digraphs
+// whose vertices lie on O(q) faces, via a hammock decomposition.
+//
+// Preprocessing:
+//  1. all-pairs distances inside each hammock (Johnson on the O(n/q)-sized
+//     pieces — playing the role of Frederickson's per-hammock compact
+//     routing tables);
+//  2. the contracted graph G' on the 4q attachment vertices: a complete K4
+//     of within-hammock attachment distances per hammock, plus the original
+//     inter-hammock edges;
+//  3. a separator decomposition of G' obtained through the planar proxy G”
+//     (ProxyFinder), and the separator engine (core.Engine) on G';
+//  4. all-pairs distances in G' by running the engine from each of the 4q
+//     attachment vertices — the step where this paper improves the
+//     Pantziou et al. bounds.
+//
+// Queries combine per-hammock tables with G' distances.
+type QFaceEngine struct {
+	hg     *HammockGraph
+	local  []*matrix.Dense // per-hammock APSP over Vertices (local indexing)
+	lidx   []map[int]int   // per-hammock vertex -> local index
+	attIdx []int           // global attachment vertex -> G' vertex id (-1 otherwise)
+	atts   []int           // G' vertex id -> global vertex id
+	gPrime *graph.Digraph
+	engine *core.Engine
+	dPrime *matrix.Dense // all-pairs on G'
+}
+
+// NewQFaceEngine preprocesses a hammock-decomposed digraph.
+func NewQFaceEngine(hg *HammockGraph, ex *pram.Executor, st *pram.Stats) (*QFaceEngine, error) {
+	if ex == nil {
+		ex = pram.Sequential
+	}
+	if err := hg.Validate(); err != nil {
+		return nil, err
+	}
+	q := len(hg.Hammocks)
+	e := &QFaceEngine{
+		hg:     hg,
+		local:  make([]*matrix.Dense, q),
+		lidx:   make([]map[int]int, q),
+		attIdx: make([]int, hg.G.N()),
+	}
+	for i := range e.attIdx {
+		e.attIdx[i] = -1
+	}
+	// Step 1: per-hammock APSP, in parallel over hammocks. Hammocks can be
+	// Θ(n/q)-sized, so the cubic Floyd-Warshall would dominate everything;
+	// Johnson (one Bellman-Ford for potentials + one Dijkstra per source)
+	// gives the ˜O(size²) total that Frederickson's outerplanar routing
+	// tables provide in the paper, while still supporting negative weights.
+	errs := make([]error, q)
+	ex.For(q, func(h int) {
+		hm := hg.Hammocks[h]
+		sub, _ := hg.G.Induced(hm.Vertices)
+		idx := make(map[int]int, len(hm.Vertices))
+		srcs := make([]int, len(hm.Vertices))
+		for i, v := range hm.Vertices {
+			idx[v] = i
+			srcs[i] = i
+		}
+		local := &pram.Stats{}
+		rows, err := baseline.Johnson(sub, srcs, pram.Sequential, local)
+		st.AddWork(local.Work())
+		if err != nil {
+			errs[h] = fmt.Errorf("planar: negative cycle inside hammock %d", h)
+			return
+		}
+		d := matrix.New(len(hm.Vertices), len(hm.Vertices))
+		for i, row := range rows {
+			copy(d.A[i*d.C:(i+1)*d.C], row)
+		}
+		e.local[h] = d
+		e.lidx[h] = idx
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	// Step 2: build G' on attachment vertices.
+	for _, hm := range hg.Hammocks {
+		for _, a := range hm.Attach {
+			if e.attIdx[a] == -1 {
+				e.attIdx[a] = len(e.atts)
+				e.atts = append(e.atts, a)
+			}
+		}
+	}
+	gb := graph.NewBuilder(len(e.atts))
+	for h, hm := range hg.Hammocks {
+		for _, a := range hm.Attach {
+			for _, b := range hm.Attach {
+				if a == b {
+					continue
+				}
+				w := e.local[h].At(e.lidx[h][a], e.lidx[h][b])
+				if !math.IsInf(w, 1) {
+					gb.AddEdge(e.attIdx[a], e.attIdx[b], w)
+				}
+			}
+		}
+	}
+	hg.G.Edges(func(from, to int, w float64) bool {
+		if hg.HammockOf[from] != hg.HammockOf[to] {
+			gb.AddEdge(e.attIdx[from], e.attIdx[to], w)
+		}
+		return true
+	})
+	e.gPrime = gb.Build()
+	// Step 3: separator decomposition of G' through the planar proxy G''.
+	sk := graph.NewSkeleton(e.gPrime)
+	hammockOfPrime := make([]int, len(e.atts))
+	for i, a := range e.atts {
+		hammockOfPrime[i] = hg.HammockOf[a]
+	}
+	finder := &ProxyFinder{HammockOf: hammockOfPrime, NumHammocks: q}
+	tree, err := separator.Build(sk, finder, separator.Options{LeafSize: 8})
+	if err != nil {
+		return nil, err
+	}
+	eng, err := core.NewEngine(e.gPrime, tree, core.Config{Ex: ex, PrepStats: st})
+	if err != nil {
+		return nil, err
+	}
+	e.engine = eng
+	// Step 4: all-pairs on G' via 4q engine queries.
+	np := len(e.atts)
+	e.dPrime = matrix.New(np, np)
+	rows := make([][]float64, np)
+	ex.For(np, func(i int) {
+		perSrc := &pram.Stats{}
+		rows[i] = eng.SSSP(i, perSrc)
+		st.AddWork(perSrc.Work())
+	})
+	for i, row := range rows {
+		for j, w := range row {
+			e.dPrime.Set(i, j, w)
+		}
+	}
+	return e, nil
+}
+
+// GPrime returns the contracted graph on attachment vertices.
+func (e *QFaceEngine) GPrime() *graph.Digraph { return e.gPrime }
+
+// Engine returns the separator engine running on G'.
+func (e *QFaceEngine) Engine() *core.Engine { return e.engine }
+
+// Dist returns dist_G(u, v), combining hammock-local paths with attachment
+// routing; O(1) table lookups per query (16 attachment pairs).
+func (e *QFaceEngine) Dist(u, v int) float64 {
+	hu, hv := e.hg.HammockOf[u], e.hg.HammockOf[v]
+	best := math.Inf(1)
+	if hu == hv {
+		best = e.local[hu].At(e.lidx[hu][u], e.lidx[hu][v])
+	}
+	for _, a := range e.hg.Hammocks[hu].Attach {
+		du := e.local[hu].At(e.lidx[hu][u], e.lidx[hu][a])
+		if math.IsInf(du, 1) {
+			continue
+		}
+		for _, b := range e.hg.Hammocks[hv].Attach {
+			dv := e.local[hv].At(e.lidx[hv][b], e.lidx[hv][v])
+			if math.IsInf(dv, 1) {
+				continue
+			}
+			if d := du + e.dPrime.At(e.attIdx[a], e.attIdx[b]) + dv; d < best {
+				best = d
+			}
+		}
+	}
+	return best
+}
+
+// SSSPTree returns distances from u plus a shortest-path tree in the
+// original graph (parent pointers over tight edges), the "shortest-path
+// trees from s sources" output of Section 6.
+func (e *QFaceEngine) SSSPTree(u int, st *pram.Stats) ([]float64, []int) {
+	dist := e.SSSP(u, st)
+	return dist, core.TightTree(e.hg.G, u, dist)
+}
+
+// SSSP returns distances from u to every vertex in O(n) work after
+// preprocessing: 4 lookups to reach the attachments, precomputed G' rows to
+// reach every other attachment, and per-hammock tables to fan out.
+func (e *QFaceEngine) SSSP(u int, st *pram.Stats) []float64 {
+	n := e.hg.G.N()
+	hu := e.hg.HammockOf[u]
+	// Arrival cost at every attachment vertex.
+	arr := make([]float64, len(e.atts))
+	for i := range arr {
+		arr[i] = math.Inf(1)
+	}
+	for _, a := range e.hg.Hammocks[hu].Attach {
+		du := e.local[hu].At(e.lidx[hu][u], e.lidx[hu][a])
+		if math.IsInf(du, 1) {
+			continue
+		}
+		ai := e.attIdx[a]
+		for bi := range arr {
+			if d := du + e.dPrime.At(ai, bi); d < arr[bi] {
+				arr[bi] = d
+			}
+		}
+	}
+	st.AddWork(int64(4 * len(e.atts)))
+	dist := make([]float64, n)
+	for v := 0; v < n; v++ {
+		hv := e.hg.HammockOf[v]
+		best := math.Inf(1)
+		if hv == hu {
+			best = e.local[hu].At(e.lidx[hu][u], e.lidx[hu][v])
+		}
+		for _, b := range e.hg.Hammocks[hv].Attach {
+			ab := arr[e.attIdx[b]]
+			if math.IsInf(ab, 1) {
+				continue
+			}
+			if d := ab + e.local[hv].At(e.lidx[hv][b], e.lidx[hv][v]); d < best {
+				best = d
+			}
+		}
+		dist[v] = best
+	}
+	st.AddWork(int64(4 * n))
+	return dist
+}

@@ -1,0 +1,181 @@
+// Package pram simulates the PRAM cost model used by the paper's analysis.
+//
+// The paper states its bounds on the EREW PRAM: an algorithm is characterized
+// by its *time* (number of parallel steps with unbounded processors, i.e.
+// span) and its *work* (total number of primitive operations). We reproduce
+// both quantities deterministically:
+//
+//   - Work is counted explicitly by the algorithms via Stats.AddWork. Each
+//     primitive relaxation / min-plus triple / word operation counts as one
+//     unit, so counted work is independent of scheduling, GOMAXPROCS, and
+//     wall clock.
+//   - Time is counted in *rounds*: one call to Executor.For is one parallel
+//     round in which every iteration would execute concurrently on a PRAM
+//     with enough processors. Algorithms arrange their loops so that a round
+//     corresponds to O(1) (or O(log n), documented per call site) PRAM steps
+//     per element; Stats.AddRounds records the conversion.
+//
+// Executor actually runs iterations on up to P goroutines, so wall-clock
+// speedup with increasing P can be measured on real hardware, standing in for
+// the paper's PRAM processors (the calibration hint for this reproduction:
+// "goroutines simulate parallelism").
+package pram
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Stats accumulates PRAM cost measures. All methods are safe for concurrent
+// use. The zero value is ready to use. A nil *Stats is also accepted by every
+// method (the cost is discarded), so hot paths can pass through an optional
+// collector without branching at call sites.
+type Stats struct {
+	work   atomic.Int64
+	rounds atomic.Int64
+}
+
+// AddWork adds n units of work.
+func (s *Stats) AddWork(n int64) {
+	if s != nil {
+		s.work.Add(n)
+	}
+}
+
+// AddRounds adds n parallel rounds (span units).
+func (s *Stats) AddRounds(n int64) {
+	if s != nil {
+		s.rounds.Add(n)
+	}
+}
+
+// Work returns the total counted work.
+func (s *Stats) Work() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.work.Load()
+}
+
+// Rounds returns the total counted parallel rounds.
+func (s *Stats) Rounds() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.rounds.Load()
+}
+
+// Reset zeroes the counters.
+func (s *Stats) Reset() {
+	if s != nil {
+		s.work.Store(0)
+		s.rounds.Store(0)
+	}
+}
+
+// Executor runs parallel-for loops on a bounded number of goroutines,
+// simulating a PRAM with P processors.
+type Executor struct {
+	p int
+}
+
+// NewExecutor returns an executor with p workers. p <= 0 selects
+// runtime.GOMAXPROCS(0).
+func NewExecutor(p int) *Executor {
+	if p <= 0 {
+		p = runtime.GOMAXPROCS(0)
+	}
+	return &Executor{p: p}
+}
+
+// Sequential is a single-worker executor; loops run deterministically inline.
+var Sequential = &Executor{p: 1}
+
+// P returns the number of workers.
+func (e *Executor) P() int { return e.p }
+
+// For executes fn(i) for every i in [0, n) as one parallel round. Iterations
+// are partitioned into contiguous chunks, one chunk per worker task. fn must
+// be safe to call concurrently with distinct i; For provides a happens-before
+// edge between the loop body and its return (all writes made by fn are
+// visible to the caller afterwards).
+func (e *Executor) For(n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if e.p == 1 || n == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	workers := e.p
+	if workers > n {
+		workers = n
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				fn(i)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// ForChunked executes fn(lo, hi) over a partition of [0, n) into at most P
+// contiguous chunks, as one parallel round. It is the right primitive when
+// the body keeps per-chunk state (e.g. a local work counter flushed once per
+// chunk, to avoid per-iteration atomics).
+func (e *Executor) ForChunked(n int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if e.p == 1 {
+		fn(0, n)
+		return
+	}
+	workers := e.p
+	if workers > n {
+		workers = n
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// Map applies fn to every index and collects results into a fresh slice, as
+// one parallel round.
+func Map[T any](e *Executor, n int, fn func(i int) T) []T {
+	out := make([]T, n)
+	e.For(n, func(i int) { out[i] = fn(i) })
+	return out
+}

@@ -1,0 +1,120 @@
+package pram
+
+import (
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestForCoversAllIndices(t *testing.T) {
+	for _, p := range []int{1, 2, 3, 8, 100} {
+		ex := NewExecutor(p)
+		for _, n := range []int{0, 1, 2, 7, 100, 1001} {
+			seen := make([]int32, n)
+			ex.For(n, func(i int) { atomic.AddInt32(&seen[i], 1) })
+			for i, c := range seen {
+				if c != 1 {
+					t.Fatalf("p=%d n=%d: index %d visited %d times", p, n, i, c)
+				}
+			}
+		}
+	}
+}
+
+func TestForChunkedPartitions(t *testing.T) {
+	f := func(nRaw uint16, pRaw uint8) bool {
+		n := int(nRaw % 2000)
+		p := int(pRaw%16) + 1
+		ex := NewExecutor(p)
+		var total atomic.Int64
+		covered := make([]int32, n)
+		ex.ForChunked(n, func(lo, hi int) {
+			if lo < 0 || hi > n || lo > hi {
+				t.Errorf("bad chunk [%d,%d) for n=%d", lo, hi, n)
+			}
+			for i := lo; i < hi; i++ {
+				atomic.AddInt32(&covered[i], 1)
+			}
+			total.Add(int64(hi - lo))
+		})
+		if total.Load() != int64(n) {
+			return false
+		}
+		for _, c := range covered {
+			if c != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSequentialIsDeterministicOrder(t *testing.T) {
+	var order []int
+	Sequential.For(5, func(i int) { order = append(order, i) })
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("sequential order broken: %v", order)
+		}
+	}
+}
+
+func TestStatsAccumulate(t *testing.T) {
+	var s Stats
+	s.AddWork(5)
+	s.AddWork(7)
+	s.AddRounds(2)
+	if s.Work() != 12 || s.Rounds() != 2 {
+		t.Fatalf("work=%d rounds=%d", s.Work(), s.Rounds())
+	}
+	s.Reset()
+	if s.Work() != 0 || s.Rounds() != 0 {
+		t.Fatal("reset failed")
+	}
+}
+
+func TestNilStatsSafe(t *testing.T) {
+	var s *Stats
+	s.AddWork(1)
+	s.AddRounds(1)
+	if s.Work() != 0 || s.Rounds() != 0 {
+		t.Fatal("nil stats should discard")
+	}
+}
+
+func TestStatsConcurrent(t *testing.T) {
+	var s Stats
+	ex := NewExecutor(8)
+	ex.For(1000, func(i int) {
+		s.AddWork(1)
+		s.AddRounds(1)
+	})
+	if s.Work() != 1000 || s.Rounds() != 1000 {
+		t.Fatalf("work=%d rounds=%d", s.Work(), s.Rounds())
+	}
+}
+
+func TestMap(t *testing.T) {
+	ex := NewExecutor(4)
+	got := Map(ex, 10, func(i int) int { return i * i })
+	for i, v := range got {
+		if v != i*i {
+			t.Fatalf("Map[%d]=%d", i, v)
+		}
+	}
+}
+
+func TestNewExecutorDefaults(t *testing.T) {
+	if NewExecutor(0).P() < 1 {
+		t.Fatal("default executor has no workers")
+	}
+	if NewExecutor(-3).P() < 1 {
+		t.Fatal("negative worker count not defaulted")
+	}
+	if Sequential.P() != 1 {
+		t.Fatal("Sequential must have P=1")
+	}
+}

@@ -1,0 +1,152 @@
+package reach
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"sepsp/internal/graph"
+	"sepsp/internal/graph/gen"
+	"sepsp/internal/pram"
+	"sepsp/internal/separator"
+)
+
+func buildEngine(t testing.TB, g *graph.Digraph, finder separator.Finder, leaf int) *Engine {
+	sk := graph.NewSkeleton(g)
+	tree, err := separator.Build(sk, finder, separator.Options{LeafSize: leaf})
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	eng, err := NewEngine(g, tree, nil, nil)
+	if err != nil {
+		t.Fatalf("NewEngine: %v", err)
+	}
+	return eng
+}
+
+func TestEngineMatchesBFSOnGrids(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	grid := gen.NewGrid([]int{9, 7}, gen.UnitWeights(), rng)
+	// Drop some edges to make reachability non-trivial: keep only "east"
+	// and "north" directions plus a few random back edges.
+	b := graph.NewBuilder(grid.G.N())
+	grid.G.Edges(func(from, to int, w float64) bool {
+		if to > from || rng.Float64() < 0.15 {
+			b.AddEdge(from, to, w)
+		}
+		return true
+	})
+	g := b.Build()
+	eng := buildEngine(t, g, &separator.CoordinateFinder{Coord: grid.Coord}, 4)
+	for _, src := range []int{0, 13, 62} {
+		want := BFSFrom(g, src, nil)
+		got := eng.From(src, nil)
+		for v := range want {
+			if got[v] != want[v] {
+				t.Fatalf("src=%d v=%d: engine %v bfs %v", src, v, got[v], want[v])
+			}
+		}
+	}
+}
+
+func TestEngineMatchesBFSOnRandomDigraphs(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 10 + rng.Intn(60)
+		g := gen.RandomDigraph(n, 2*n, gen.UnitWeights(), rng)
+		eng := buildEngine(t, g, &separator.BFSFinder{}, 6)
+		for trial := 0; trial < 3; trial++ {
+			src := rng.Intn(n)
+			want := BFSFrom(g, src, nil)
+			got := eng.From(src, nil)
+			for v := range want {
+				if got[v] != want[v] {
+					t.Errorf("seed=%d src=%d v=%d mismatch", seed, src, v)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTransitiveClosureMatchesBFS(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g := gen.RandomDAG(40, 100, gen.UnitWeights(), rng)
+	tc := TransitiveClosure(g, pram.NewExecutor(2), nil)
+	for s := 0; s < g.N(); s++ {
+		want := BFSFrom(g, s, nil)
+		for v := range want {
+			got := tc.Get(s, v) || s == v
+			wantV := want[v] || s == v
+			if got != wantV {
+				t.Fatalf("closure(%d,%d)=%v want %v", s, v, got, wantV)
+			}
+		}
+	}
+}
+
+func TestSourcesParallel(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := gen.RandomDigraph(80, 200, gen.UnitWeights(), rng)
+	sk := graph.NewSkeleton(g)
+	tree, err := separator.Build(sk, &separator.BFSFinder{}, separator.Options{LeafSize: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := NewEngine(g, tree, pram.NewExecutor(4), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srcs := []int{0, 20, 40, 60}
+	st := &pram.Stats{}
+	got := eng.Sources(srcs, st)
+	for i, src := range srcs {
+		want := BFSFrom(g, src, nil)
+		for v := range want {
+			if got[i][v] != want[v] {
+				t.Fatalf("src=%d v=%d mismatch", src, v)
+			}
+		}
+	}
+	if st.Work() == 0 {
+		t.Fatal("no work counted")
+	}
+}
+
+func TestEngineConsistentWithSCC(t *testing.T) {
+	// Independent validation path: vertices in one strongly connected
+	// component must be mutually reachable according to the engine.
+	rng := rand.New(rand.NewSource(5))
+	g := gen.RandomDigraph(70, 180, gen.UnitWeights(), rng)
+	eng := buildEngine(t, g, &separator.BFSFinder{}, 6)
+	comp, _ := graph.SCC(g)
+	rows := make([][]bool, g.N())
+	for v := 0; v < g.N(); v++ {
+		rows[v] = eng.From(v, nil)
+	}
+	for u := 0; u < g.N(); u++ {
+		for v := 0; v < g.N(); v++ {
+			if comp[u] == comp[v] && !(rows[u][v] && rows[v][u]) {
+				t.Fatalf("SCC-mates %d,%d not mutually reachable per engine", u, v)
+			}
+			if rows[u][v] && rows[v][u] && comp[u] != comp[v] {
+				t.Fatalf("mutually reachable %d,%d in different SCCs", u, v)
+			}
+		}
+	}
+}
+
+func TestScheduleAccounting(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	grid := gen.NewGrid([]int{8, 8}, gen.UnitWeights(), rng)
+	eng := buildEngine(t, grid.G, &separator.CoordinateFinder{Coord: grid.Coord}, 4)
+	st := &pram.Stats{}
+	eng.From(0, st)
+	if st.Work() != eng.Schedule().WorkPerSource() {
+		t.Fatalf("work %d != estimate %d", st.Work(), eng.Schedule().WorkPerSource())
+	}
+}

@@ -1,0 +1,114 @@
+// Package semiring defines the path-algebra semirings over which the paper's
+// algorithm generalizes (comment (iii) in Section 1: "Our algorithm is
+// applicable to general path algebra problems over semirings").
+//
+// A (selective) semiring here is (T, Plus, Times, Zero, One) where Plus
+// selects among path values (idempotent, commutative, associative), Times
+// extends a path by an edge (associative, One is the empty path, Zero
+// annihilates), and Plus distributes over Times. All shortest-path machinery
+// in this repository that is generic over Semiring requires idempotent Plus;
+// that is exactly the class for which path doubling and Bellman-Ford style
+// relaxation converge to the closure.
+package semiring
+
+import "math"
+
+// Semiring describes a selective path algebra over values of type T.
+type Semiring[T any] interface {
+	// Zero is the additive identity: the value of "no path".
+	Zero() T
+	// One is the multiplicative identity: the value of the empty path.
+	One() T
+	// Plus selects between two path values (e.g. min).
+	Plus(a, b T) T
+	// Times extends a path value by another (e.g. +).
+	Times(a, b T) T
+	// Less reports whether a is strictly better than b under Plus
+	// (Plus(a,b)==a and a != b). It drives early-exit and heap ordering.
+	Less(a, b T) bool
+	// Eq reports semiring-value equality.
+	Eq(a, b T) bool
+}
+
+// MinPlus is the tropical semiring (R ∪ {+inf}, min, +): shortest paths.
+type MinPlus struct{}
+
+func (MinPlus) Zero() float64 { return math.Inf(1) }
+func (MinPlus) One() float64  { return 0 }
+func (MinPlus) Plus(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+func (MinPlus) Times(a, b float64) float64 { return a + b }
+func (MinPlus) Less(a, b float64) bool     { return a < b }
+func (MinPlus) Eq(a, b float64) bool       { return a == b }
+
+// Boolean is ({false,true}, OR, AND): reachability / transitive closure.
+type Boolean struct{}
+
+func (Boolean) Zero() bool           { return false }
+func (Boolean) One() bool            { return true }
+func (Boolean) Plus(a, b bool) bool  { return a || b }
+func (Boolean) Times(a, b bool) bool { return a && b }
+func (Boolean) Less(a, b bool) bool  { return a && !b }
+func (Boolean) Eq(a, b bool) bool    { return a == b }
+
+// Bottleneck is (R ∪ {±inf}, max, min): maximum-capacity (widest) paths.
+// Zero = -inf (no path), One = +inf (empty path has unbounded capacity).
+type Bottleneck struct{}
+
+func (Bottleneck) Zero() float64 { return math.Inf(-1) }
+func (Bottleneck) One() float64  { return math.Inf(1) }
+func (Bottleneck) Plus(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+func (Bottleneck) Times(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+func (Bottleneck) Less(a, b float64) bool { return a > b }
+func (Bottleneck) Eq(a, b float64) bool   { return a == b }
+
+// Reliability is ([0,1], max, *): most-reliable paths where each edge value
+// is an independent success probability.
+type Reliability struct{}
+
+func (Reliability) Zero() float64 { return 0 }
+func (Reliability) One() float64  { return 1 }
+func (Reliability) Plus(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+func (Reliability) Times(a, b float64) float64 { return a * b }
+func (Reliability) Less(a, b float64) bool     { return a > b }
+func (Reliability) Eq(a, b float64) bool       { return a == b }
+
+// MinMax is (R ∪ {±inf}, min, max): minimax paths (minimize the largest edge
+// on the path), e.g. minimum-spanning-tree path queries.
+type MinMax struct{}
+
+func (MinMax) Zero() float64 { return math.Inf(1) }
+func (MinMax) One() float64  { return math.Inf(-1) }
+func (MinMax) Plus(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+func (MinMax) Times(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+func (MinMax) Less(a, b float64) bool { return a < b }
+func (MinMax) Eq(a, b float64) bool   { return a == b }

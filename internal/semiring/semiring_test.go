@@ -1,0 +1,109 @@
+package semiring
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// checkAxioms verifies the selective-semiring laws on sampled values:
+// Plus idempotent/commutative/associative with identity Zero; Times
+// associative with identity One and annihilator Zero; distributivity.
+func checkAxioms[T any](t *testing.T, name string, s Semiring[T], sample func(*rand.Rand) T) {
+	t.Helper()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a, b, c := sample(rng), sample(rng), sample(rng)
+		if !s.Eq(s.Plus(a, a), a) {
+			t.Errorf("%s: Plus not idempotent on %v", name, a)
+			return false
+		}
+		if !s.Eq(s.Plus(a, b), s.Plus(b, a)) {
+			t.Errorf("%s: Plus not commutative", name)
+			return false
+		}
+		if !s.Eq(s.Plus(s.Plus(a, b), c), s.Plus(a, s.Plus(b, c))) {
+			t.Errorf("%s: Plus not associative", name)
+			return false
+		}
+		if !s.Eq(s.Plus(a, s.Zero()), a) {
+			t.Errorf("%s: Zero not Plus-identity", name)
+			return false
+		}
+		if !s.Eq(s.Times(s.Times(a, b), c), s.Times(a, s.Times(b, c))) {
+			t.Errorf("%s: Times not associative", name)
+			return false
+		}
+		if !s.Eq(s.Times(a, s.One()), a) || !s.Eq(s.Times(s.One(), a), a) {
+			t.Errorf("%s: One not Times-identity", name)
+			return false
+		}
+		if !s.Eq(s.Times(a, s.Zero()), s.Zero()) || !s.Eq(s.Times(s.Zero(), a), s.Zero()) {
+			t.Errorf("%s: Zero not annihilating", name)
+			return false
+		}
+		l := s.Times(a, s.Plus(b, c))
+		r := s.Plus(s.Times(a, b), s.Times(a, c))
+		if !s.Eq(l, r) {
+			t.Errorf("%s: Times does not distribute over Plus", name)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatalf("%s axioms: %v", name, err)
+	}
+}
+
+// Integer-valued samples keep Times exact so associativity holds exactly.
+func intWeights(rng *rand.Rand) float64 { return float64(rng.Intn(21) - 10) }
+
+func TestMinPlusAxioms(t *testing.T) { checkAxioms[float64](t, "MinPlus", MinPlus{}, intWeights) }
+
+func TestBooleanAxioms(t *testing.T) {
+	checkAxioms[bool](t, "Boolean", Boolean{}, func(rng *rand.Rand) bool { return rng.Intn(2) == 0 })
+}
+
+func TestBottleneckAxioms(t *testing.T) {
+	checkAxioms[float64](t, "Bottleneck", Bottleneck{}, intWeights)
+}
+
+func TestMinMaxAxioms(t *testing.T) { checkAxioms[float64](t, "MinMax", MinMax{}, intWeights) }
+
+func TestReliabilityAxioms(t *testing.T) {
+	// Powers of 1/2 keep products exact.
+	checkAxioms[float64](t, "Reliability", Reliability{}, func(rng *rand.Rand) float64 {
+		return math.Pow(0.5, float64(rng.Intn(8)))
+	})
+}
+
+func TestLessSemantics(t *testing.T) {
+	if !(MinPlus{}).Less(1, 2) || (MinPlus{}).Less(2, 1) {
+		t.Fatal("MinPlus.Less wrong")
+	}
+	if !(Bottleneck{}).Less(5, 3) {
+		t.Fatal("Bottleneck.Less must prefer larger capacity")
+	}
+	if !(Reliability{}).Less(0.9, 0.5) {
+		t.Fatal("Reliability.Less must prefer larger probability")
+	}
+	if !(Boolean{}).Less(true, false) || (Boolean{}).Less(false, true) {
+		t.Fatal("Boolean.Less wrong")
+	}
+	if !(MinMax{}).Less(1, 2) {
+		t.Fatal("MinMax.Less wrong")
+	}
+}
+
+func TestZeroOneValues(t *testing.T) {
+	if !math.IsInf((MinPlus{}).Zero(), 1) || (MinPlus{}).One() != 0 {
+		t.Fatal("MinPlus identities")
+	}
+	if !math.IsInf((Bottleneck{}).Zero(), -1) || !math.IsInf((Bottleneck{}).One(), 1) {
+		t.Fatal("Bottleneck identities")
+	}
+	if (Reliability{}).Zero() != 0 || (Reliability{}).One() != 1 {
+		t.Fatal("Reliability identities")
+	}
+}

@@ -1,0 +1,195 @@
+package separator
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"sepsp/internal/graph"
+)
+
+// Finder computes a balanced separator of the skeleton restricted to the
+// vertex set sub (which the builder guarantees to be connected and sorted).
+// It must return three disjoint sets with S ∪ side1 ∪ side2 = sub such that
+// no skeleton edge joins side1 to side2. Finders should keep
+// max(|side1|, |side2|) ≤ α·|sub| for some constant α < 1; the builder
+// tolerates temporary imbalance but aborts if recursion stops making
+// progress. A Finder returns an error when it cannot separate sub (the
+// builder then closes the node as a leaf).
+type Finder interface {
+	Separate(sk *graph.Skeleton, sub []int) (sep, side1, side2 []int, err error)
+}
+
+// Options configures Build.
+type Options struct {
+	// LeafSize: subgraphs of at most this many vertices become leaves.
+	// Default 8. The paper requires leaves of size O(1).
+	LeafSize int
+	// MaxHeight aborts runaway recursions. Default 256.
+	MaxHeight int
+}
+
+func (o Options) withDefaults() Options {
+	if o.LeafSize <= 0 {
+		o.LeafSize = 8
+	}
+	if o.MaxHeight <= 0 {
+		o.MaxHeight = 256
+	}
+	return o
+}
+
+// Build constructs a separator decomposition tree for the skeleton sk using
+// the given finder. Following the design note in DESIGN.md, both children of
+// a node receive the entire separator: V(t_i) = side_i ∪ S(t). Disconnected
+// subgraphs are split with an empty separator by balanced component packing
+// before the finder is consulted.
+func Build(sk *graph.Skeleton, f Finder, opt Options) (*Tree, error) {
+	opt = opt.withDefaults()
+	t := &Tree{n: sk.N()}
+	rootV := make([]int, sk.N())
+	for i := range rootV {
+		rootV[i] = i
+	}
+	type item struct {
+		id int
+		v  []int
+		b  []int
+	}
+	t.Nodes = append(t.Nodes, Node{ID: 0, Parent: -1, Children: [2]int{-1, -1}, Level: 0, V: rootV, B: nil})
+	queue := []item{{id: 0, v: rootV, b: nil}}
+	for len(queue) > 0 {
+		it := queue[0]
+		queue = queue[1:]
+		nd := &t.Nodes[it.id]
+		if nd.Level >= opt.MaxHeight {
+			return nil, fmt.Errorf("separator: recursion exceeded MaxHeight=%d (finder not making progress?)", opt.MaxHeight)
+		}
+		if len(it.v) <= opt.LeafSize {
+			continue // leaf
+		}
+		sep, s1, s2, err := separateStep(sk, f, it.v)
+		if errors.Is(err, ErrCannotSeparate) {
+			// Finder gave up: close as (possibly oversized) leaf.
+			continue
+		}
+		if err != nil {
+			// Structural violation (invalid partition, non-separating cut):
+			// propagate — a silently wrong decomposition would corrupt
+			// every downstream distance.
+			return nil, err
+		}
+		v1 := union(s1, sep)
+		v2 := union(s2, sep)
+		if len(v1) >= len(it.v) || len(v2) >= len(it.v) {
+			// No progress; close as leaf rather than loop.
+			continue
+		}
+		sb := union(sep, it.b)
+		b1 := intersect(sb, v1)
+		b2 := intersect(sb, v2)
+		id1, id2 := len(t.Nodes), len(t.Nodes)+1
+		lvl := nd.Level + 1
+		t.Nodes = append(t.Nodes,
+			Node{ID: id1, Parent: it.id, Children: [2]int{-1, -1}, Level: lvl, V: v1, B: b1},
+			Node{ID: id2, Parent: it.id, Children: [2]int{-1, -1}, Level: lvl, V: v2, B: b2},
+		)
+		nd = &t.Nodes[it.id] // reacquire: append may have moved the backing array
+		nd.S = sep
+		nd.Children = [2]int{id1, id2}
+		queue = append(queue, item{id1, v1, b1}, item{id2, v2, b2})
+	}
+	if err := t.computeDerived(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// separateStep splits sub: if the restricted skeleton is disconnected, the
+// components are packed into two balanced sides with an empty separator;
+// otherwise the finder is consulted. The returned sets are sorted.
+func separateStep(sk *graph.Skeleton, f Finder, sub []int) (sep, s1, s2 []int, err error) {
+	comps := sk.SubComponents(sub)
+	if len(comps) > 1 {
+		s1, s2 = packComponents(comps)
+		return nil, s1, s2, nil
+	}
+	sep, s1, s2, err = f.Separate(sk, sub)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	sort.Ints(sep)
+	sort.Ints(s1)
+	sort.Ints(s2)
+	if err := checkPartition(sub, sep, s1, s2); err != nil {
+		return nil, nil, nil, fmt.Errorf("separator: finder returned invalid partition: %w", err)
+	}
+	if err := checkSeparation(sk, s1, s2); err != nil {
+		return nil, nil, nil, err
+	}
+	return sep, s1, s2, nil
+}
+
+// checkSeparation verifies that no skeleton edge joins the two sides. This
+// guards against structure-assuming finders (hyperplane, slab, bag-centroid)
+// being fed graphs that violate their assumptions — e.g. a lattice graph
+// with one extra long-range edge — which would otherwise produce a silently
+// incorrect decomposition and wrong distances downstream. Cost: O(Σ deg)
+// over the smaller side, i.e. O(m log n) across the whole recursion.
+func checkSeparation(sk *graph.Skeleton, s1, s2 []int) error {
+	small, big := s1, s2
+	if len(small) > len(big) {
+		small, big = big, small
+	}
+	inBig := make(map[int]bool, len(big))
+	for _, v := range big {
+		inBig[v] = true
+	}
+	for _, v := range small {
+		var bad int = -1
+		sk.Adj(v, func(u int) bool {
+			if inBig[u] {
+				bad = u
+				return false
+			}
+			return true
+		})
+		if bad >= 0 {
+			return fmt.Errorf("separator: finder produced a non-separating cut: edge (%d,%d) crosses it (graph violates the finder's structural assumption?)", v, bad)
+		}
+	}
+	return nil
+}
+
+// packComponents distributes components into two sides, largest first into
+// the currently lighter side, guaranteeing max side ≤ max(½·total, largest
+// component).
+func packComponents(comps [][]int) (s1, s2 []int) {
+	sort.Slice(comps, func(i, j int) bool { return len(comps[i]) > len(comps[j]) })
+	var a, b []int
+	for _, c := range comps {
+		if len(a) <= len(b) {
+			a = append(a, c...)
+		} else {
+			b = append(b, c...)
+		}
+	}
+	sort.Ints(a)
+	sort.Ints(b)
+	return a, b
+}
+
+func checkPartition(sub, sep, s1, s2 []int) error {
+	total := len(sep) + len(s1) + len(s2)
+	if total != len(sub) {
+		return fmt.Errorf("parts cover %d of %d vertices", total, len(sub))
+	}
+	merged := union(union(sep, s1), s2)
+	if !equalSets(merged, sub) {
+		return fmt.Errorf("parts are not a partition of sub")
+	}
+	if len(intersect(sep, s1)) > 0 || len(intersect(sep, s2)) > 0 || len(intersect(s1, s2)) > 0 {
+		return fmt.Errorf("parts overlap")
+	}
+	return nil
+}

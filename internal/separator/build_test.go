@@ -1,0 +1,147 @@
+package separator
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"sepsp/internal/graph"
+	"sepsp/internal/graph/gen"
+)
+
+// badFinder returns deliberately invalid partitions to verify the builder's
+// defenses.
+type badFinder struct {
+	mode string
+}
+
+func (bf *badFinder) Separate(sk *graph.Skeleton, sub []int) (sep, s1, s2 []int, err error) {
+	switch bf.mode {
+	case "crossing":
+		// Split vertices by parity, empty separator: edges cross.
+		for _, v := range sub {
+			if v%2 == 0 {
+				s1 = append(s1, v)
+			} else {
+				s2 = append(s2, v)
+			}
+		}
+		return nil, s1, s2, nil
+	case "overlap":
+		// sep and s1 share a vertex.
+		return []int{sub[0]}, sub[:2], sub[2:], nil
+	case "drop":
+		// Loses a vertex.
+		return nil, sub[:1], sub[2:], nil
+	case "noprogress":
+		// Everything in the separator: children would equal the input.
+		return append([]int(nil), sub...), nil, nil, nil
+	default:
+		return nil, nil, nil, ErrCannotSeparate
+	}
+}
+
+func TestBuilderRejectsCrossingCuts(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	grid := gen.NewGrid([]int{6, 6}, gen.UnitWeights(), rng)
+	sk := graph.NewSkeleton(grid.G)
+	_, err := Build(sk, &badFinder{mode: "crossing"}, Options{LeafSize: 4})
+	if err == nil || !strings.Contains(err.Error(), "non-separating") {
+		t.Fatalf("crossing cut not rejected: %v", err)
+	}
+}
+
+func TestBuilderRejectsBadPartitions(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	grid := gen.NewGrid([]int{6, 6}, gen.UnitWeights(), rng)
+	sk := graph.NewSkeleton(grid.G)
+	for _, mode := range []string{"overlap", "drop"} {
+		if _, err := Build(sk, &badFinder{mode: mode}, Options{LeafSize: 4}); err == nil {
+			t.Fatalf("mode %q not rejected", mode)
+		}
+	}
+}
+
+func TestBuilderNoProgressBecomesLeaf(t *testing.T) {
+	// A finder that "separates" by swallowing everything makes no progress;
+	// the builder must terminate with a (big) leaf rather than loop.
+	rng := rand.New(rand.NewSource(3))
+	grid := gen.NewGrid([]int{5, 5}, gen.UnitWeights(), rng)
+	sk := graph.NewSkeleton(grid.G)
+	tree, err := Build(sk, &badFinder{mode: "noprogress"}, Options{LeafSize: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tree.Nodes) != 1 || !tree.Root().IsLeaf() {
+		t.Fatalf("expected single-leaf tree, got %d nodes", len(tree.Nodes))
+	}
+	if err := tree.Validate(sk); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuilderGivingUpFinderBecomesLeaf(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	grid := gen.NewGrid([]int{5, 5}, gen.UnitWeights(), rng)
+	sk := graph.NewSkeleton(grid.G)
+	tree, err := Build(sk, &badFinder{mode: "giveup"}, Options{LeafSize: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tree.Root().IsLeaf() {
+		t.Fatal("expected the root to close as a leaf")
+	}
+}
+
+func TestCoordinateFinderRejectsNonLatticeEdge(t *testing.T) {
+	// A grid plus one long-range edge: the hyperplane cut is no longer a
+	// separator and the builder must refuse loudly instead of producing a
+	// silently wrong decomposition.
+	rng := rand.New(rand.NewSource(5))
+	grid := gen.NewGrid([]int{8, 8}, gen.UnitWeights(), rng)
+	b := graph.NewBuilder(grid.G.N())
+	grid.G.Edges(func(from, to int, w float64) bool {
+		b.AddEdge(from, to, w)
+		return true
+	})
+	b.AddEdge(grid.Index([]int{0, 0}), grid.Index([]int{7, 7}), 1)
+	sk := graph.NewSkeleton(b.Build())
+	if _, err := Build(sk, &CoordinateFinder{Coord: grid.Coord}, Options{LeafSize: 4}); err == nil {
+		t.Fatal("non-lattice edge not detected")
+	}
+}
+
+func TestFromNodesRoundTrip(t *testing.T) {
+	tree, sk, _ := buildGridTree(t, []int{9, 9}, 6)
+	rebuilt, err := FromNodes(tree.N(), tree.Nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rebuilt.Validate(sk); err != nil {
+		t.Fatal(err)
+	}
+	if rebuilt.Height != tree.Height {
+		t.Fatalf("height %d vs %d", rebuilt.Height, tree.Height)
+	}
+	for v := 0; v < tree.N(); v++ {
+		if rebuilt.Level(v) != tree.Level(v) || rebuilt.NodeOf(v) != tree.NodeOf(v) {
+			t.Fatalf("derived tables differ at %d", v)
+		}
+	}
+	if _, err := FromNodes(5, nil); err == nil {
+		t.Fatal("empty node list accepted")
+	}
+}
+
+func TestPackComponentsBalance(t *testing.T) {
+	comps := [][]int{{1, 2, 3, 4, 5}, {6, 7, 8}, {9, 10}, {11}}
+	a, b := packComponents(comps)
+	if len(a)+len(b) != 11 {
+		t.Fatalf("lost vertices: %d+%d", len(a), len(b))
+	}
+	// Largest-first greedy keeps the max side at most
+	// max(ceil(total/2), largest component) = 6.
+	if len(a) > 6 || len(b) > 6 {
+		t.Fatalf("imbalanced: %d vs %d", len(a), len(b))
+	}
+}

@@ -1,0 +1,68 @@
+package separator
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"sepsp/internal/graph"
+	"sepsp/internal/graph/gen"
+)
+
+// TestCostsScaleWithMu certifies the Section 5 sums directly on the
+// decomposition: for the square grid (μ = ½), Σ|S|³ and Σ|B|²|S| must grow
+// like n^{1.5} and Σ(|S|²+|B|²) like n·log n, with the root terms dominant.
+func TestCostsScaleWithMu(t *testing.T) {
+	measure := func(side int) Costs {
+		t.Helper()
+		tree, _, _ := buildGridTree(t, []int{side, side}, 8)
+		return tree.Costs()
+	}
+	c1 := measure(32) // n = 1024
+	c2 := measure(64) // n = 4096 (4×)
+	// n^{1.5} quantities should grow ≈ 8× for a 4× n increase; allow slack
+	// for the additive O(n) terms.
+	ratio := func(a, b int64) float64 { return float64(b) / float64(a) }
+	if r := ratio(c1.SumS3, c2.SumS3); r < 5 || r > 11 {
+		t.Fatalf("Σ|S|³ ratio %v, want ≈8", r)
+	}
+	if r := ratio(c1.SumB2S, c2.SumB2S); r < 5 || r > 11 {
+		t.Fatalf("Σ|B|²|S| ratio %v, want ≈8", r)
+	}
+	// Σ|S| is Θ(n).
+	if r := ratio(c1.SumS, c2.SumS); r < 3 || r > 5.5 {
+		t.Fatalf("Σ|S| ratio %v, want ≈4", r)
+	}
+	// Σ(|S|²+|B|²) is Θ(n log n): ratio slightly above 4.
+	if r := ratio(c1.SumS2B2, c2.SumS2B2); r < 3.5 || r > 7 {
+		t.Fatalf("Σ(|S|²+|B|²) ratio %v, want ≈4–5", r)
+	}
+	// Leaf mass is Θ(n).
+	if r := ratio(c1.SumLeaf3, c2.SumLeaf3); r < 3 || r > 5.5 {
+		t.Fatalf("Σ|V(leaf)|³ ratio %v, want ≈4", r)
+	}
+}
+
+func TestCostsKTreeLinear(t *testing.T) {
+	// Bounded treewidth: every Section 5 sum is Θ(n).
+	measure := func(n int) Costs {
+		rngKT := gen.NewKTree(n, 3, gen.UnitWeights(), rand.New(rand.NewSource(int64(n))))
+		sk := graph.NewSkeleton(rngKT.G)
+		tree, err := Build(sk, &TreeDecompFinder{Bags: rngKT.Decomp.Bags, Parent: rngKT.Decomp.Parent}, Options{LeafSize: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tree.Costs()
+	}
+	c1, c2 := measure(2000), measure(8000)
+	for name, pair := range map[string][2]int64{
+		"SumS3":   {c1.SumS3, c2.SumS3},
+		"SumB2S":  {c1.SumB2S, c2.SumB2S},
+		"SumS2B2": {c1.SumS2B2, c2.SumS2B2},
+	} {
+		r := float64(pair[1]) / float64(pair[0])
+		if math.Abs(r-4) > 1.8 {
+			t.Fatalf("%s ratio %v, want ≈4 (linear)", name, r)
+		}
+	}
+}

@@ -1,0 +1,370 @@
+package separator
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"sepsp/internal/graph"
+)
+
+// ErrCannotSeparate is returned by finders when no useful separator exists
+// for the given subgraph; the builder closes the node as a leaf.
+var ErrCannotSeparate = errors.New("separator: cannot separate subgraph")
+
+// CoordinateFinder separates lattice graphs by axis-aligned hyperplane cuts:
+// it picks the dimension with the largest extent within sub and removes the
+// median coordinate slice. It requires that every skeleton edge connect
+// vertices whose coordinates differ by at most 1 in exactly one dimension
+// (true for the grid generators); Tree.Validate will reject decompositions
+// built over other graphs.
+//
+// For a d-dimensional grid with Θ(n^(1/d)) sides this yields the trivial
+// k^((d-1)/d)-separator decomposition the paper cites for grid graphs; for
+// anisotropic w×h "cigar" grids it yields k^μ separators with μ = log w /
+// log(wh) at the top of the recursion.
+type CoordinateFinder struct {
+	// Coord[v] is the integer lattice coordinate of vertex v.
+	Coord [][]int
+}
+
+// Separate implements Finder.
+func (cf *CoordinateFinder) Separate(_ *graph.Skeleton, sub []int) (sep, s1, s2 []int, err error) {
+	if len(sub) == 0 {
+		return nil, nil, nil, ErrCannotSeparate
+	}
+	dims := len(cf.Coord[sub[0]])
+	bestDim, bestExtent := -1, 0
+	for d := 0; d < dims; d++ {
+		lo, hi := cf.Coord[sub[0]][d], cf.Coord[sub[0]][d]
+		for _, v := range sub[1:] {
+			c := cf.Coord[v][d]
+			if c < lo {
+				lo = c
+			}
+			if c > hi {
+				hi = c
+			}
+		}
+		if hi-lo > bestExtent {
+			bestExtent = hi - lo
+			bestDim = d
+		}
+	}
+	if bestDim < 0 || bestExtent < 2 {
+		// All vertices share (almost) one coordinate in every dimension;
+		// a hyperplane cut cannot produce two non-empty sides.
+		return nil, nil, nil, ErrCannotSeparate
+	}
+	// Median coordinate along bestDim, by vertex count.
+	vals := make([]int, len(sub))
+	for i, v := range sub {
+		vals[i] = cf.Coord[v][bestDim]
+	}
+	sort.Ints(vals)
+	med := vals[len(vals)/2]
+	// Keep both sides non-empty: nudge the cut inward if the median sits at
+	// an extreme.
+	if med == vals[0] {
+		med++
+	}
+	if med == vals[len(vals)-1] {
+		med--
+	}
+	for _, v := range sub {
+		switch c := cf.Coord[v][bestDim]; {
+		case c < med:
+			s1 = append(s1, v)
+		case c > med:
+			s2 = append(s2, v)
+		default:
+			sep = append(sep, v)
+		}
+	}
+	if len(s1) == 0 && len(s2) == 0 {
+		return nil, nil, nil, ErrCannotSeparate
+	}
+	return sep, s1, s2, nil
+}
+
+// SlabFinder separates geometric (radius-r) graphs by removing a slab of
+// half-width r/2 around the median coordinate in the widest dimension: any
+// two points on opposite strict sides are more than r apart, so no edge
+// crosses. This is the flat-cut analogue of the Miller–Teng–Vavasis sphere
+// separators for overlap graphs (Section 1).
+type SlabFinder struct {
+	Points [][]float64
+	Radius float64
+}
+
+// Separate implements Finder.
+func (sf *SlabFinder) Separate(_ *graph.Skeleton, sub []int) (sep, s1, s2 []int, err error) {
+	if len(sub) == 0 {
+		return nil, nil, nil, ErrCannotSeparate
+	}
+	dims := len(sf.Points[sub[0]])
+	bestDim, bestExtent := -1, 0.0
+	for d := 0; d < dims; d++ {
+		lo, hi := sf.Points[sub[0]][d], sf.Points[sub[0]][d]
+		for _, v := range sub[1:] {
+			c := sf.Points[v][d]
+			if c < lo {
+				lo = c
+			}
+			if c > hi {
+				hi = c
+			}
+		}
+		if hi-lo > bestExtent {
+			bestExtent = hi - lo
+			bestDim = d
+		}
+	}
+	if bestDim < 0 || bestExtent <= sf.Radius {
+		return nil, nil, nil, ErrCannotSeparate
+	}
+	vals := make([]float64, len(sub))
+	for i, v := range sub {
+		vals[i] = sf.Points[v][bestDim]
+	}
+	sort.Float64s(vals)
+	med := vals[len(vals)/2]
+	half := sf.Radius / 2
+	for _, v := range sub {
+		switch c := sf.Points[v][bestDim]; {
+		case c < med-half:
+			s1 = append(s1, v)
+		case c > med+half:
+			s2 = append(s2, v)
+		default:
+			sep = append(sep, v)
+		}
+	}
+	if len(s1) == 0 && len(s2) == 0 {
+		return nil, nil, nil, ErrCannotSeparate
+	}
+	return sep, s1, s2, nil
+}
+
+// BFSFinder separates connected subgraphs by removing one BFS level: levels
+// strictly below form one side, levels strictly above the other. It chooses
+// the smallest level whose removal keeps both sides at most balance·|sub|
+// (default ¾). This is the classical layered separator; it gives O(√n)
+// separators on grid-like and bounded-aspect planar graphs, standing in for
+// the Gazit–Miller planar separator algorithm (see DESIGN.md substitutions).
+type BFSFinder struct {
+	// Balance is the maximum allowed side fraction; 0 means ¾.
+	Balance float64
+}
+
+// Separate implements Finder.
+func (bf *BFSFinder) Separate(sk *graph.Skeleton, sub []int) (sep, s1, s2 []int, err error) {
+	balance := bf.Balance
+	if balance == 0 {
+		balance = 0.75
+	}
+	if balance <= 0.5 || balance >= 1 {
+		return nil, nil, nil, fmt.Errorf("separator: BFSFinder balance %v out of (0.5,1)", balance)
+	}
+	if len(sub) < 3 {
+		return nil, nil, nil, ErrCannotSeparate
+	}
+	levels := sk.BFSLevels(sub, sub[0])
+	if len(levels) != len(sub) {
+		return nil, nil, nil, fmt.Errorf("separator: BFSFinder requires connected sub (%d of %d reached)", len(levels), len(sub))
+	}
+	maxLevel := 0
+	for _, l := range levels {
+		if l > maxLevel {
+			maxLevel = l
+		}
+	}
+	count := make([]int, maxLevel+1)
+	for _, l := range levels {
+		count[l]++
+	}
+	limit := int(balance * float64(len(sub)))
+	bestLevel, bestSize := -1, len(sub)+1
+	below := 0
+	for l := 0; l <= maxLevel; l++ {
+		above := len(sub) - below - count[l]
+		if below <= limit && above <= limit && count[l] < bestSize && below+above > 0 {
+			bestLevel, bestSize = l, count[l]
+		}
+		below += count[l]
+	}
+	if bestLevel < 0 {
+		return nil, nil, nil, ErrCannotSeparate
+	}
+	for _, v := range sub {
+		switch l := levels[v]; {
+		case l < bestLevel:
+			s1 = append(s1, v)
+		case l > bestLevel:
+			s2 = append(s2, v)
+		default:
+			sep = append(sep, v)
+		}
+	}
+	return sep, s1, s2, nil
+}
+
+// TreeDecompFinder separates graphs of bounded treewidth using a provided
+// tree decomposition: the separator is a centroid bag (restricted to sub),
+// and the sides are the unions of the decomposition-tree components around
+// it. Separator size is bounded by the decomposition width + 1, i.e. O(1)
+// for a fixed-width family — the μ→0 extreme of the paper's analysis.
+type TreeDecompFinder struct {
+	Bags   [][]int
+	Parent []int
+
+	adj  [][]int // decomposition-tree adjacency, built lazily
+	home []int   // home bag per vertex: first bag listing it
+}
+
+func (tf *TreeDecompFinder) init() {
+	if tf.adj != nil {
+		return
+	}
+	nb := len(tf.Bags)
+	tf.adj = make([][]int, nb)
+	for i, p := range tf.Parent {
+		if p >= 0 {
+			tf.adj[i] = append(tf.adj[i], p)
+			tf.adj[p] = append(tf.adj[p], i)
+		}
+	}
+	maxV := -1
+	for _, bag := range tf.Bags {
+		for _, v := range bag {
+			if v > maxV {
+				maxV = v
+			}
+		}
+	}
+	tf.home = make([]int, maxV+1)
+	for i := range tf.home {
+		tf.home[i] = -1
+	}
+	for bi, bag := range tf.Bags {
+		for _, v := range bag {
+			if tf.home[v] == -1 {
+				tf.home[v] = bi
+			}
+		}
+	}
+}
+
+// Separate implements Finder.
+func (tf *TreeDecompFinder) Separate(_ *graph.Skeleton, sub []int) (sep, s1, s2 []int, err error) {
+	tf.init()
+	nb := len(tf.Bags)
+	weight := make([]int, nb)
+	inSub := make(map[int]bool, len(sub))
+	for _, v := range sub {
+		inSub[v] = true
+		h := tf.home[v]
+		if h < 0 {
+			return nil, nil, nil, fmt.Errorf("separator: vertex %d not covered by tree decomposition", v)
+		}
+		weight[h]++
+	}
+	total := len(sub)
+	// Weighted centroid of the bag tree: compute subtree weights from an
+	// arbitrary root (bag 0), then pick the bag minimizing the heaviest
+	// component after its removal.
+	sub0 := make([]int, nb) // subtree weight rooted at bag 0
+	order := make([]int, 0, nb)
+	parent := make([]int, nb)
+	for i := range parent {
+		parent[i] = -2
+	}
+	stack := []int{0}
+	parent[0] = -1
+	for len(stack) > 0 {
+		b := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		order = append(order, b)
+		for _, c := range tf.adj[b] {
+			if parent[c] == -2 {
+				parent[c] = b
+				stack = append(stack, c)
+			}
+		}
+	}
+	for i := len(order) - 1; i >= 0; i-- {
+		b := order[i]
+		sub0[b] = weight[b]
+		for _, c := range tf.adj[b] {
+			if parent[c] == b {
+				sub0[b] += sub0[c]
+			}
+		}
+	}
+	bestBag, bestMax := -1, total+1
+	for b := 0; b < nb; b++ {
+		maxComp := total - sub0[b] // the "above" component
+		for _, c := range tf.adj[b] {
+			if parent[c] == b && sub0[c] > maxComp {
+				maxComp = sub0[c]
+			}
+		}
+		if maxComp < bestMax {
+			bestBag, bestMax = b, maxComp
+		}
+	}
+	if bestBag < 0 {
+		return nil, nil, nil, ErrCannotSeparate
+	}
+	inBag := make(map[int]bool, len(tf.Bags[bestBag]))
+	for _, v := range tf.Bags[bestBag] {
+		if inSub[v] {
+			inBag[v] = true
+			sep = append(sep, v)
+		}
+	}
+	// Component id of every bag after removing bestBag.
+	compID := make([]int, nb)
+	for i := range compID {
+		compID[i] = -1
+	}
+	nComp := 0
+	for b := 0; b < nb; b++ {
+		if b == bestBag || compID[b] != -1 {
+			continue
+		}
+		stack = stack[:0]
+		stack = append(stack, b)
+		compID[b] = nComp
+		for len(stack) > 0 {
+			x := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, c := range tf.adj[x] {
+				if c != bestBag && compID[c] == -1 {
+					compID[c] = nComp
+					stack = append(stack, c)
+				}
+			}
+		}
+		nComp++
+	}
+	comps := make([][]int, nComp)
+	for _, v := range sub {
+		if inBag[v] {
+			continue
+		}
+		ci := compID[tf.home[v]]
+		comps[ci] = append(comps[ci], v)
+	}
+	var nonEmpty [][]int
+	for _, c := range comps {
+		if len(c) > 0 {
+			nonEmpty = append(nonEmpty, c)
+		}
+	}
+	if len(nonEmpty) == 0 {
+		return nil, nil, nil, ErrCannotSeparate
+	}
+	s1, s2 = packComponents(nonEmpty)
+	return sep, s1, s2, nil
+}

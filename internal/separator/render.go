@@ -1,0 +1,101 @@
+package separator
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Render pretty-prints the decomposition tree, one node per line, indented
+// by depth — the textual analogue of the paper's Figure 1 (a separator
+// decomposition tree of a 9×9 grid graph). describe, if non-nil, maps a
+// vertex id to a label (e.g. grid coordinates); otherwise numeric ids are
+// printed. Large sets are summarized.
+func (t *Tree) Render(describe func(v int) string) string {
+	var sb strings.Builder
+	var walk func(id, depth int)
+	walk = func(id, depth int) {
+		nd := &t.Nodes[id]
+		indent := strings.Repeat("  ", depth)
+		if nd.IsLeaf() {
+			fmt.Fprintf(&sb, "%sleaf  |V|=%-3d V=%s B=%s\n",
+				indent, len(nd.V), formatSet(nd.V, describe, 12), formatSet(nd.B, describe, 8))
+			return
+		}
+		fmt.Fprintf(&sb, "%snode  |V|=%-3d S=%s B=%s\n",
+			indent, len(nd.V), formatSet(nd.S, describe, 12), formatSet(nd.B, describe, 8))
+		walk(nd.Children[0], depth+1)
+		walk(nd.Children[1], depth+1)
+	}
+	walk(0, 0)
+	return sb.String()
+}
+
+func formatSet(vs []int, describe func(v int) string, max int) string {
+	if len(vs) == 0 {
+		return "{}"
+	}
+	sorted := append([]int(nil), vs...)
+	sort.Ints(sorted)
+	var parts []string
+	for i, v := range sorted {
+		if i >= max {
+			parts = append(parts, fmt.Sprintf("…+%d", len(sorted)-max))
+			break
+		}
+		if describe != nil {
+			parts = append(parts, describe(v))
+		} else {
+			parts = append(parts, fmt.Sprintf("%d", v))
+		}
+	}
+	return "{" + strings.Join(parts, " ") + "}"
+}
+
+// Costs aggregates the Section 5 cost functionals of the decomposition —
+// the quantities whose sums the paper's analysis bounds:
+//
+//	SumS     = Σ|S(t)|          (O(n): total separator mass)
+//	SumS3    = Σ|S(t)|³         (Algorithm 4.1 closure work, O(n+n^{3μ}))
+//	SumB2S   = Σ|B(t)|²·|S(t)|  (Algorithm 4.1 3-limited work, O(n+n^{3μ}))
+//	SumSB3   = Σ(|S|+|B|)³      (Algorithm 4.3 per-iteration work)
+//	SumS2B2  = Σ(|S|²+|B|²)     (|E+| contributions, O(n+n^{2μ}))
+//	SumLeaf3 = Σ|V(leaf)|³      (leaf closures, O(n))
+type Costs struct {
+	SumS, SumS3, SumB2S, SumSB3, SumS2B2, SumLeaf3 int64
+}
+
+// Costs computes the Section 5 cost functionals.
+func (t *Tree) Costs() Costs {
+	var c Costs
+	for i := range t.Nodes {
+		nd := &t.Nodes[i]
+		s, b := int64(len(nd.S)), int64(len(nd.B))
+		c.SumS += s
+		c.SumS3 += s * s * s
+		c.SumB2S += b * b * s
+		c.SumSB3 += (s + b) * (s + b) * (s + b)
+		c.SumS2B2 += s*s + b*b
+		if nd.IsLeaf() {
+			v := int64(len(nd.V))
+			c.SumLeaf3 += v * v * v
+		}
+	}
+	return c
+}
+
+// Summary returns aggregate statistics of the tree: node count, height,
+// max leaf size, max separator, and the total sizes Σ|S(t)|, Σ|B(t)| that
+// drive the Section 5 work bounds.
+func (t *Tree) Summary() string {
+	var sumS, sumB, leaves int
+	for i := range t.Nodes {
+		sumS += len(t.Nodes[i].S)
+		sumB += len(t.Nodes[i].B)
+		if t.Nodes[i].IsLeaf() {
+			leaves++
+		}
+	}
+	return fmt.Sprintf("nodes=%d leaves=%d height=%d maxLeaf=%d maxSep=%d Σ|S|=%d Σ|B|=%d",
+		len(t.Nodes), leaves, t.Height, t.MaxLeafSize(), t.MaxSeparatorSize(), sumS, sumB)
+}

@@ -1,0 +1,62 @@
+package separator
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderAndSummary(t *testing.T) {
+	tree, _, grid := buildGridTree(t, []int{9, 9}, 9)
+	out := tree.Render(nil)
+	if !strings.Contains(out, "node") || !strings.Contains(out, "leaf") {
+		t.Fatalf("rendering lacks structure:\n%s", out)
+	}
+	// Indentation depth must reflect the tree height.
+	maxIndent := 0
+	for _, line := range strings.Split(out, "\n") {
+		indent := 0
+		for strings.HasPrefix(line[indent:], "  ") {
+			indent += 2
+		}
+		if indent/2 > maxIndent {
+			maxIndent = indent / 2
+		}
+	}
+	if maxIndent != tree.Height {
+		t.Fatalf("max indent %d != height %d", maxIndent, tree.Height)
+	}
+	// Custom describe function appears in the output.
+	withCoords := tree.Render(func(v int) string {
+		c := grid.Coord[v]
+		return "(" + itoa(c[0]) + "," + itoa(c[1]) + ")"
+	})
+	if !strings.Contains(withCoords, "(4,") {
+		t.Fatalf("coordinates missing from render")
+	}
+	sum := tree.Summary()
+	for _, want := range []string{"nodes=", "height=", "Σ|S|="} {
+		if !strings.Contains(sum, want) {
+			t.Fatalf("summary missing %q: %s", want, sum)
+		}
+	}
+}
+
+func itoa(x int) string {
+	if x == 0 {
+		return "0"
+	}
+	var b []byte
+	for x > 0 {
+		b = append([]byte{byte('0' + x%10)}, b...)
+		x /= 10
+	}
+	return string(b)
+}
+
+func TestRenderTruncatesLargeSets(t *testing.T) {
+	tree, _, _ := buildGridTree(t, []int{20, 20}, 8)
+	out := tree.Render(nil)
+	if !strings.Contains(out, "…+") {
+		t.Fatal("large sets should be truncated with an ellipsis")
+	}
+}

@@ -1,0 +1,294 @@
+package separator
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"sepsp/internal/graph"
+	"sepsp/internal/graph/gen"
+)
+
+func buildGridTree(t *testing.T, dims []int, leafSize int) (*Tree, *graph.Skeleton, *gen.Grid) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(1))
+	g := gen.NewGrid(dims, gen.UnitWeights(), rng)
+	sk := graph.NewSkeleton(g.G)
+	tree, err := Build(sk, &CoordinateFinder{Coord: g.Coord}, Options{LeafSize: leafSize})
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return tree, sk, g
+}
+
+func TestGridTreeValidates(t *testing.T) {
+	for _, dims := range [][]int{{9, 9}, {4, 4, 4}, {30, 2}, {1, 17}, {5, 1}} {
+		tree, sk, _ := buildGridTree(t, dims, 6)
+		if err := tree.Validate(sk); err != nil {
+			t.Fatalf("dims=%v: %v", dims, err)
+		}
+	}
+}
+
+func TestGridTreeSeparatorSizes(t *testing.T) {
+	// A w×h grid's hyperplane separators never exceed max(w, h)… more
+	// precisely, the separator of a subgrid is one slice of its shorter
+	// extent. For the square grid, that's O(√n) at every node.
+	tree, _, _ := buildGridTree(t, []int{16, 16}, 6)
+	for i := range tree.Nodes {
+		nd := &tree.Nodes[i]
+		if nd.IsLeaf() {
+			continue
+		}
+		bound := int(math.Ceil(math.Sqrt(float64(len(nd.V))))) * 2
+		if len(nd.S) > bound {
+			t.Fatalf("node %d: |V|=%d |S|=%d exceeds 2√|V|=%d", i, len(nd.V), len(nd.S), bound)
+		}
+	}
+	if tree.Height > 3*17 { // generous: height is O(log n) with constant ≈ 3
+		t.Fatalf("height %d too large", tree.Height)
+	}
+}
+
+func TestLevelFunctions(t *testing.T) {
+	tree, _, g := buildGridTree(t, []int{9, 9}, 4)
+	n := g.G.N()
+	for v := 0; v < n; v++ {
+		nd := tree.NodeOf(v)
+		if nd < 0 || nd >= len(tree.Nodes) {
+			t.Fatalf("NodeOf(%d)=%d", v, nd)
+		}
+		lv := tree.Level(v)
+		node := &tree.Nodes[nd]
+		if lv == LevelUndef {
+			if !node.IsLeaf() {
+				t.Fatalf("undefined-level vertex %d maps to internal node", v)
+			}
+			if !contains(node.V, v) {
+				t.Fatalf("vertex %d not in its leaf", v)
+			}
+		} else {
+			if node.Level != lv {
+				t.Fatalf("level(%d)=%d but node level %d", v, lv, node.Level)
+			}
+			if !contains(node.S, v) {
+				t.Fatalf("vertex %d not in separator of node(%d)", v, nd)
+			}
+			// Minimality: no ancestor separator contains v.
+			for p := node.Parent; p >= 0; p = tree.Nodes[p].Parent {
+				if contains(tree.Nodes[p].S, v) {
+					t.Fatalf("level(%d) not minimal: ancestor %d has it", v, p)
+				}
+			}
+		}
+	}
+}
+
+func contains(s []int, v int) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+func TestBoundaryLevelLowerThanNode(t *testing.T) {
+	// Property used by Proposition 3.2: v ∈ B(t) ⟹ level(v) < level(t),
+	// and v ∈ S(t) ⟹ level(v) ≤ level(t).
+	tree, _, _ := buildGridTree(t, []int{12, 12}, 6)
+	for i := range tree.Nodes {
+		nd := &tree.Nodes[i]
+		for _, v := range nd.B {
+			if tree.Level(v) >= nd.Level {
+				t.Fatalf("boundary vertex %d of node %d has level %d >= %d", v, i, tree.Level(v), nd.Level)
+			}
+		}
+		for _, v := range nd.S {
+			if tree.Level(v) > nd.Level {
+				t.Fatalf("separator vertex %d of node %d has level %d > %d", v, i, tree.Level(v), nd.Level)
+			}
+		}
+	}
+}
+
+func TestBFSFinderOnGrid(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g := gen.NewGrid([]int{10, 10}, gen.UnitWeights(), rng)
+	sk := graph.NewSkeleton(g.G)
+	tree, err := Build(sk, &BFSFinder{}, Options{LeafSize: 5})
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if err := tree.Validate(sk); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestBFSFinderBalanceValidation(t *testing.T) {
+	var bf BFSFinder
+	bf.Balance = 0.4 // invalid
+	rng := rand.New(rand.NewSource(2))
+	g := gen.NewGrid([]int{5, 5}, gen.UnitWeights(), rng)
+	sk := graph.NewSkeleton(g.G)
+	sub := make([]int, 25)
+	for i := range sub {
+		sub[i] = i
+	}
+	if _, _, _, err := bf.Separate(sk, sub); err == nil {
+		t.Fatal("expected balance validation error")
+	}
+}
+
+func TestTreeDecompFinderOnKTree(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 20 + rng.Intn(120)
+		k := 1 + rng.Intn(3)
+		kt := gen.NewKTree(n, k, gen.UnitWeights(), rng)
+		sk := graph.NewSkeleton(kt.G)
+		tree, err := Build(sk, &TreeDecompFinder{Bags: kt.Decomp.Bags, Parent: kt.Decomp.Parent}, Options{LeafSize: k + 2})
+		if err != nil {
+			t.Errorf("Build: %v", err)
+			return false
+		}
+		if err := tree.Validate(sk); err != nil {
+			t.Errorf("Validate: %v", err)
+			return false
+		}
+		// Separator sizes bounded by bag size k+1.
+		for i := range tree.Nodes {
+			if len(tree.Nodes[i].S) > k+1 {
+				t.Errorf("separator larger than bag: %d > %d", len(tree.Nodes[i].S), k+1)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSlabFinderOnGeometric(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	geo := gen.NewGeometric(400, 2, 0.09, gen.UnitWeights(), rng)
+	sk := graph.NewSkeleton(geo.G)
+	tree, err := Build(sk, &SlabFinder{Points: geo.Points, Radius: 0.09}, Options{LeafSize: 8})
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if err := tree.Validate(sk); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestDisconnectedGraphSplitsWithEmptySeparator(t *testing.T) {
+	// Two disjoint paths: the root split must use S = ∅.
+	b := graph.NewBuilder(8)
+	for i := 0; i < 3; i++ {
+		b.AddBoth(i, i+1, 1)
+		b.AddBoth(4+i, 5+i, 1)
+	}
+	g := b.Build()
+	sk := graph.NewSkeleton(g)
+	tree, err := Build(sk, &BFSFinder{}, Options{LeafSize: 2})
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if err := tree.Validate(sk); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if len(tree.Root().S) != 0 {
+		t.Fatalf("root separator should be empty, got %v", tree.Root().S)
+	}
+}
+
+func TestTinyGraphIsLeaf(t *testing.T) {
+	b := graph.NewBuilder(3)
+	b.AddBoth(0, 1, 1)
+	sk := graph.NewSkeleton(b.Build())
+	tree, err := Build(sk, &BFSFinder{}, Options{LeafSize: 8})
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if len(tree.Nodes) != 1 || !tree.Root().IsLeaf() {
+		t.Fatalf("tiny graph should be a single leaf")
+	}
+	if tree.Height != 0 {
+		t.Fatalf("height=%d", tree.Height)
+	}
+	for v := 0; v < 3; v++ {
+		if tree.Level(v) != LevelUndef {
+			t.Fatalf("level(%d) should be undefined", v)
+		}
+	}
+}
+
+func TestMaxLeafAndSeparatorSizes(t *testing.T) {
+	tree, _, _ := buildGridTree(t, []int{9, 9}, 5)
+	if m := tree.MaxLeafSize(); m > 5 {
+		t.Fatalf("MaxLeafSize=%d > 5", m)
+	}
+	if tree.MaxSeparatorSize() < 1 {
+		t.Fatal("no separators recorded")
+	}
+	if len(tree.Leaves()) < 2 {
+		t.Fatal("expected multiple leaves")
+	}
+}
+
+func TestSetHelpers(t *testing.T) {
+	f := func(aRaw, bRaw []uint8) bool {
+		toSet := func(raw []uint8) []int {
+			m := map[int]bool{}
+			for _, x := range raw {
+				m[int(x%32)] = true
+			}
+			var out []int
+			for k := range m {
+				out = append(out, k)
+			}
+			sortInts(out)
+			return out
+		}
+		a, b := toSet(aRaw), toSet(bRaw)
+		u, inter, d := union(a, b), intersect(a, b), diff(a, b)
+		um := map[int]bool{}
+		for _, x := range a {
+			um[x] = true
+		}
+		for _, x := range b {
+			um[x] = true
+		}
+		if len(u) != len(um) {
+			return false
+		}
+		for _, x := range inter {
+			if !contains(a, x) || !contains(b, x) {
+				return false
+			}
+		}
+		for _, x := range d {
+			if !contains(a, x) || contains(b, x) {
+				return false
+			}
+		}
+		if len(d)+len(inter) != len(a) {
+			return false
+		}
+		return subset(inter, a) && subset(inter, b) && subset(a, u) && subset(b, u)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func sortInts(s []int) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

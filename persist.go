@@ -1,0 +1,82 @@
+package sepsp
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"sepsp/internal/augment"
+	"sepsp/internal/core"
+	"sepsp/internal/graph"
+	"sepsp/internal/pram"
+	"sepsp/internal/separator"
+)
+
+// indexDTO is the serialized form of an Index: the graph, the decomposition
+// tree, and the computed shortcut set. Loading reconstructs the engine
+// without redoing the preprocessing.
+type indexDTO struct {
+	Version   int
+	N         int
+	Edges     []graph.Edge
+	Nodes     []separator.Node
+	Shortcuts []graph.Edge
+	RawCount  int64
+	Algorithm int
+}
+
+const persistVersion = 1
+
+// Save serializes the index (graph + decomposition + E+) so a later Load
+// can answer queries without re-running the preprocessing.
+func (ix *Index) Save(w io.Writer) error {
+	dto := indexDTO{
+		Version:   persistVersion,
+		N:         ix.eng.Graph().N(),
+		Edges:     ix.eng.Graph().EdgeList(),
+		Nodes:     ix.eng.Tree().Nodes,
+		Shortcuts: ix.eng.Augmentation().Edges,
+		RawCount:  ix.eng.Augmentation().RawCount,
+		Algorithm: int(ix.alg),
+	}
+	return gob.NewEncoder(w).Encode(&dto)
+}
+
+// Load reconstructs an Index previously written by Save. workers configures
+// the executor as in Options.Workers (0 = sequential, negative =
+// GOMAXPROCS).
+func Load(r io.Reader, workers int) (*Index, error) {
+	var dto indexDTO
+	if err := gob.NewDecoder(r).Decode(&dto); err != nil {
+		return nil, fmt.Errorf("sepsp: load: %w", err)
+	}
+	if dto.Version != persistVersion {
+		return nil, fmt.Errorf("sepsp: load: unsupported version %d", dto.Version)
+	}
+	g := graph.FromEdges(dto.N, dto.Edges)
+	tree, err := separator.FromNodes(dto.N, dto.Nodes)
+	if err != nil {
+		return nil, fmt.Errorf("sepsp: load: %w", err)
+	}
+	if err := tree.Validate(graph.NewSkeleton(g)); err != nil {
+		return nil, fmt.Errorf("sepsp: load: corrupt decomposition: %w", err)
+	}
+	var ex *pram.Executor
+	if workers == 0 {
+		ex = pram.Sequential
+	} else {
+		ex = pram.NewExecutor(workers)
+	}
+	res := &augment.Result{Edges: dto.Shortcuts, RawCount: dto.RawCount}
+	eng := core.NewEngineFromParts(g, tree, res, ex)
+	ix := &Index{eng: eng, ex: ex, alg: core.Algorithm(dto.Algorithm)}
+	ix.stats = Stats{
+		Shortcuts:     len(res.Edges),
+		TreeHeight:    tree.Height,
+		MaxSeparator:  tree.MaxSeparatorSize(),
+		DiameterBound: eng.DiameterBound(),
+		QueryPhases:   eng.Schedule().Phases(),
+		QueryWork:     eng.Schedule().WorkPerSource(),
+	}
+	return ix, nil
+}

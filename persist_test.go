@@ -1,0 +1,76 @@
+package sepsp
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	gg, grid := gridGraph(t, 9, 8, 41)
+	ix, err := Build(gg, &Options{Coordinates: grid.Coord})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ix.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Stats that derive from the parts must survive.
+	a, b := ix.Stats(), loaded.Stats()
+	if a.Shortcuts != b.Shortcuts || a.TreeHeight != b.TreeHeight ||
+		a.QueryPhases != b.QueryPhases || a.QueryWork != b.QueryWork {
+		t.Fatalf("stats differ: %+v vs %+v", a, b)
+	}
+	// Distances identical (bit-for-bit: same edges, same schedule).
+	for _, src := range []int{0, 35, 71} {
+		want := ix.SSSP(src)
+		got := loaded.SSSP(src)
+		for v := range want {
+			if want[v] != got[v] && !(math.IsInf(want[v], 1) && math.IsInf(got[v], 1)) {
+				t.Fatalf("src=%d v=%d: %v vs %v", src, v, got[v], want[v])
+			}
+		}
+	}
+	// The loaded index supports the full feature surface.
+	if _, _, ok := loaded.Path(0, 71); !ok {
+		t.Fatal("path on loaded index failed")
+	}
+	if _, err := loaded.Reachable(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loaded.BuildOracle(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(bytes.NewBufferString("not a gob stream"), 0); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestLoadRejectsCorruptTree(t *testing.T) {
+	gg, grid := gridGraph(t, 5, 5, 42)
+	ix, err := Build(gg, &Options{Coordinates: grid.Coord})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ix.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Flip some bytes in the middle of the payload: either the gob decode
+	// or the tree validation must reject the result.
+	data := buf.Bytes()
+	for i := len(data) / 2; i < len(data)/2+8 && i < len(data); i++ {
+		data[i] ^= 0xff
+	}
+	if _, err := Load(bytes.NewBuffer(data), 0); err == nil {
+		t.Fatal("corrupt payload accepted")
+	}
+}

@@ -1,0 +1,378 @@
+// Package sepsp is a parallel shortest-path library for directed graphs
+// with real edge weights that admit a separator decomposition, implementing
+//
+//	Edith Cohen, "Efficient Parallel Shortest-Paths in Digraphs with a
+//	Separator Decomposition", SPAA 1993 (journal version: J. Algorithms
+//	21(2):331–357, 1996).
+//
+// The library preprocesses a digraph into an Index by computing the paper's
+// shortcut edge set E+ over a recursive separator decomposition of the
+// graph's undirected skeleton. Afterwards:
+//
+//   - distances in the augmented graph equal distances in the original
+//     graph, and
+//   - every distance is realized by a path of O(log n) edges,
+//
+// so single-source queries run in O(log² n) parallel phases with
+// near-linear work per source — in contrast to the Θ(n³)-work dense methods
+// general digraphs require (the "transitive-closure bottleneck").
+//
+// # Quick start
+//
+//	g := sepsp.NewGraph(n)
+//	g.AddEdge(u, v, w)                      // real weights, negatives OK
+//	ix, err := sepsp.Build(g, nil)          // auto decomposition
+//	dist := ix.SSSP(src)                    // exact distances
+//
+// Structured graphs should pass their structure via Options: lattice
+// coordinates (grids), point coordinates (geometric graphs), or a tree
+// decomposition (bounded treewidth); the decomposition quality determines
+// the preprocessing/query work, per Table 1 of the paper.
+//
+// Negative edge weights are supported; Build fails with ErrNegativeCycle if
+// the graph contains a negative-weight cycle (paper comment (i)).
+package sepsp
+
+import (
+	"errors"
+	"fmt"
+
+	"sepsp/internal/augment"
+	"sepsp/internal/core"
+	"sepsp/internal/graph"
+	"sepsp/internal/oracle"
+	"sepsp/internal/planar"
+	"sepsp/internal/pram"
+	"sepsp/internal/reach"
+	"sepsp/internal/separator"
+)
+
+// ErrNegativeCycle reports that the input graph contains a negative-weight
+// cycle, making some distances undefined.
+var ErrNegativeCycle = errors.New("sepsp: negative-weight cycle detected")
+
+// Graph is a mutable edge-list digraph under construction. Vertices are
+// dense integers 0..n-1.
+type Graph struct {
+	b *graph.Builder
+}
+
+// NewGraph returns an empty digraph on n vertices.
+func NewGraph(n int) *Graph {
+	return &Graph{b: graph.NewBuilder(n)}
+}
+
+// N returns the vertex count.
+func (g *Graph) N() int { return g.b.N() }
+
+// AddEdge adds a directed edge u→v with weight w (negative allowed).
+func (g *Graph) AddEdge(u, v int, w float64) { g.b.AddEdge(u, v, w) }
+
+// AddBoth adds both directions with the same weight.
+func (g *Graph) AddBoth(u, v int, w float64) { g.b.AddBoth(u, v, w) }
+
+// Algorithm selects the preprocessing strategy of Section 4.
+type Algorithm int
+
+const (
+	// LeavesUp is Algorithm 4.1 (default): lower work, O(d_G log² n) time.
+	LeavesUp Algorithm = iota
+	// Simultaneous is Algorithm 4.3: one log-factor faster in parallel
+	// time, one log-factor more work.
+	Simultaneous
+)
+
+// Options configures Build. The zero value (or nil) uses a BFS-layer
+// separator decomposition, Algorithm 4.1, and sequential execution.
+type Options struct {
+	// Workers sets the goroutine-pool size simulating PRAM processors;
+	// 0 = sequential, negative = GOMAXPROCS.
+	Workers int
+	// Algorithm picks the E+ construction.
+	Algorithm Algorithm
+	// LeafSize bounds decomposition leaves (default 8).
+	LeafSize int
+
+	// Exactly one of the following decomposition hints may be set; all nil
+	// selects the generic BFS-layer finder.
+
+	// Coordinates enables hyperplane separators for lattice graphs:
+	// Coordinates[v] is the integer grid coordinate of vertex v.
+	Coordinates [][]int
+	// Points/Radius enable slab separators for geometric (radius) graphs.
+	Points [][]float64
+	Radius float64
+	// Bags/BagParents enable tree-decomposition (centroid-bag) separators
+	// for bounded-treewidth graphs.
+	Bags       [][]int
+	BagParents []int
+	// Rotations enables fundamental-cycle separators for embedded planar
+	// graphs: Rotations[v] lists v's neighbors in cyclic (clockwise or
+	// counterclockwise, consistently) order around v.
+	Rotations [][]int
+}
+
+func (o *Options) executor() *pram.Executor {
+	if o == nil || o.Workers == 0 {
+		return pram.Sequential
+	}
+	return pram.NewExecutor(o.Workers)
+}
+
+func (o *Options) finder() (separator.Finder, error) {
+	if o == nil {
+		return &separator.BFSFinder{}, nil
+	}
+	set := 0
+	var f separator.Finder = &separator.BFSFinder{}
+	if o.Coordinates != nil {
+		set++
+		f = &separator.CoordinateFinder{Coord: o.Coordinates}
+	}
+	if o.Points != nil {
+		set++
+		if o.Radius <= 0 {
+			return nil, fmt.Errorf("sepsp: Points requires a positive Radius")
+		}
+		f = &separator.SlabFinder{Points: o.Points, Radius: o.Radius}
+	}
+	if o.Bags != nil {
+		set++
+		if len(o.BagParents) != len(o.Bags) {
+			return nil, fmt.Errorf("sepsp: Bags and BagParents must have equal length")
+		}
+		f = &separator.TreeDecompFinder{Bags: o.Bags, Parent: o.BagParents}
+	}
+	if o.Rotations != nil {
+		set++
+		f = &planar.CycleFinder{Em: planar.NewEmbeddingFromRotations(o.Rotations)}
+	}
+	if set > 1 {
+		return nil, fmt.Errorf("sepsp: at most one decomposition hint may be set")
+	}
+	return f, nil
+}
+
+// Stats summarizes a built index.
+type Stats struct {
+	// PrepWork / PrepRounds: counted PRAM work and parallel rounds of the
+	// preprocessing (E+ construction).
+	PrepWork   int64
+	PrepRounds int64
+	// Shortcuts is |E+| after deduplication.
+	Shortcuts int
+	// TreeHeight is d_G, MaxSeparator the largest |S(t)|.
+	TreeHeight   int
+	MaxSeparator int
+	// DiameterBound is Theorem 3.1's bound 4·d_G + 2ℓ + 1 on diam(G+).
+	DiameterBound int
+	// QueryPhases / QueryWork: per-source phase count and relaxation count
+	// of the Section 3.2 schedule.
+	QueryPhases int
+	QueryWork   int64
+}
+
+// Index is a preprocessed shortest-path oracle.
+type Index struct {
+	eng   *core.Engine
+	ex    *pram.Executor
+	alg   core.Algorithm
+	stats Stats
+
+	reachEng *reach.Engine // built lazily
+	revEng   *core.Engine  // built lazily (reverse-graph queries)
+}
+
+// Build preprocesses the graph. It consumes the Graph's current edge set;
+// later AddEdge calls do not affect the returned Index.
+func Build(g *Graph, opt *Options) (*Index, error) {
+	dg := g.b.Build()
+	finder, err := opt.finder()
+	if err != nil {
+		return nil, err
+	}
+	leaf := 0
+	alg := core.Alg41
+	if opt != nil {
+		leaf = opt.LeafSize
+		if opt.Algorithm == Simultaneous {
+			alg = core.Alg43
+		}
+	}
+	sk := graph.NewSkeleton(dg)
+	tree, err := separator.Build(sk, finder, separator.Options{LeafSize: leaf})
+	if err != nil {
+		return nil, err
+	}
+	ex := opt.executor()
+	prep := &pram.Stats{}
+	eng, err := core.NewEngine(dg, tree, core.Config{Ex: ex, Algorithm: alg, PrepStats: prep})
+	if err != nil {
+		if errors.Is(err, augment.ErrNegativeCycle) {
+			return nil, fmt.Errorf("%w: %v", ErrNegativeCycle, err)
+		}
+		return nil, err
+	}
+	ix := &Index{eng: eng, ex: ex, alg: alg}
+	ix.stats = Stats{
+		PrepWork:      prep.Work(),
+		PrepRounds:    prep.Rounds(),
+		Shortcuts:     len(eng.Augmentation().Edges),
+		TreeHeight:    tree.Height,
+		MaxSeparator:  tree.MaxSeparatorSize(),
+		DiameterBound: eng.DiameterBound(),
+		QueryPhases:   eng.Schedule().Phases(),
+		QueryWork:     eng.Schedule().WorkPerSource(),
+	}
+	return ix, nil
+}
+
+// Stats returns preprocessing and query cost summaries.
+func (ix *Index) Stats() Stats { return ix.stats }
+
+// RenderDecomposition pretty-prints the separator decomposition tree (one
+// node per line, indented by depth) preceded by a one-line summary — the
+// textual analogue of the paper's Figure 1.
+func (ix *Index) RenderDecomposition() string {
+	tree := ix.eng.Tree()
+	return tree.Summary() + "\n" + tree.Render(nil)
+}
+
+// Verify checks a distance certificate produced by SSSP against the
+// indexed graph (see internal/core.VerifyDistances); useful when consuming
+// persisted or externally transported results.
+func (ix *Index) Verify(src int, dist []float64) error {
+	return core.VerifyDistances(ix.eng.Graph(), src, dist, 1e-9)
+}
+
+// SSSP returns exact distances from src to every vertex (+Inf where
+// unreachable).
+func (ix *Index) SSSP(src int) []float64 {
+	return ix.eng.SSSP(src, nil)
+}
+
+// Sources computes SSSP from many sources, parallelized over sources.
+func (ix *Index) Sources(srcs []int) [][]float64 {
+	return ix.eng.Sources(srcs, nil)
+}
+
+// SourcesBatched computes SSSP from many sources with one shared edge sweep
+// per phase (cache-friendly for moderate batch sizes); results equal
+// Sources.
+func (ix *Index) SourcesBatched(srcs []int) [][]float64 {
+	return ix.eng.SourcesBatched(srcs, nil)
+}
+
+// Dist returns the distance from u to v (one SSSP; batch queries should use
+// SSSP or Sources directly).
+func (ix *Index) Dist(u, v int) float64 {
+	return ix.eng.SSSP(u, nil)[v]
+}
+
+// SSSPTree returns distances plus a shortest-path tree in the original
+// graph: parent[v] is the predecessor of v on a minimum-weight src→v path
+// (parent[src] = src; -1 for unreachable vertices).
+func (ix *Index) SSSPTree(src int) (dist []float64, parent []int) {
+	return ix.eng.SSSPTree(src, nil)
+}
+
+// Path returns a minimum-weight path from src to dst as a vertex sequence,
+// with its weight. ok is false when dst is unreachable.
+func (ix *Index) Path(src, dst int) (path []int, w float64, ok bool) {
+	dist, parent := ix.eng.SSSPTree(src, nil)
+	p, ok := core.PathTo(parent, src, dst)
+	if !ok {
+		return nil, 0, false
+	}
+	return p, dist[dst], true
+}
+
+// Reachable returns the set of vertices reachable from src, using the
+// boolean (transitive-closure) instantiation of the engine; the reach
+// preprocessing runs once on first use.
+func (ix *Index) Reachable(src int) ([]bool, error) {
+	if ix.reachEng == nil {
+		re, err := reach.NewEngine(ix.eng.Graph(), ix.eng.Tree(), ix.ex, nil)
+		if err != nil {
+			return nil, err
+		}
+		ix.reachEng = re
+	}
+	return ix.reachEng.From(src, nil), nil
+}
+
+// Oracle is a compact all-pairs distance representation: O(n^{1+μ}) space,
+// exact answers in O(n^μ) work per pair — the library's generalization of
+// the paper's Section 6 compact routing tables (hub labels over ancestor
+// separators).
+type Oracle struct {
+	o *oracle.Oracle
+}
+
+// BuildOracle preprocesses the pair-query oracle from the index.
+func (ix *Index) BuildOracle() (*Oracle, error) {
+	o, err := oracle.New(ix.eng, ix.ex, nil)
+	if err != nil {
+		return nil, err
+	}
+	return &Oracle{o: o}, nil
+}
+
+// Dist returns the exact distance from u to v.
+func (o *Oracle) Dist(u, v int) float64 { return o.o.Dist(u, v, nil) }
+
+// Pairs answers a batch of pair queries in parallel.
+func (o *Oracle) Pairs(pairs [][2]int) []float64 { return o.o.Pairs(pairs, nil, nil) }
+
+// LabelEntries reports the total hub-label storage (O(n^{1+μ}) entries).
+func (o *Oracle) LabelEntries() int { return o.o.LabelSize() }
+
+// DistTo returns, for every vertex u, the distance FROM u TO dst. It runs
+// one query on the reversed graph; the decomposition tree is reused as-is
+// because it depends only on the undirected skeleton (paper comment (iv)),
+// which edge reversal preserves. The reverse engine is preprocessed once on
+// first use.
+func (ix *Index) DistTo(dst int) ([]float64, error) {
+	if ix.revEng == nil {
+		eng, err := core.NewEngine(ix.eng.Graph().Reverse(), ix.eng.Tree(),
+			core.Config{Ex: ix.ex, Algorithm: ix.alg})
+		if err != nil {
+			return nil, err
+		}
+		ix.revEng = eng
+	}
+	return ix.revEng.SSSP(dst, nil), nil
+}
+
+// WithWeights builds a new Index for a graph with the same undirected
+// skeleton but different edge weights and/or directions, REUSING the
+// separator decomposition — the paper's comment (iv): the decomposition
+// "needs to be computed only once for a group of instances which differ in
+// the weights and direction on edges". Only the E+ construction reruns.
+// Returns an error if g's skeleton differs from the indexed graph's.
+func (ix *Index) WithWeights(g *Graph) (*Index, error) {
+	dg := g.b.Build()
+	oldSk := graph.NewSkeleton(ix.eng.Graph())
+	newSk := graph.NewSkeleton(dg)
+	if !oldSk.Equal(newSk) {
+		return nil, fmt.Errorf("sepsp: WithWeights requires the same undirected skeleton")
+	}
+	eng, err := core.NewEngine(dg, ix.eng.Tree(), core.Config{Ex: ix.ex, Algorithm: ix.alg})
+	if err != nil {
+		if errors.Is(err, augment.ErrNegativeCycle) {
+			return nil, fmt.Errorf("%w: %v", ErrNegativeCycle, err)
+		}
+		return nil, err
+	}
+	out := &Index{eng: eng, ex: ix.ex, alg: ix.alg}
+	tree := ix.eng.Tree()
+	out.stats = Stats{
+		Shortcuts:     len(eng.Augmentation().Edges),
+		TreeHeight:    tree.Height,
+		MaxSeparator:  tree.MaxSeparatorSize(),
+		DiameterBound: eng.DiameterBound(),
+		QueryPhases:   eng.Schedule().Phases(),
+		QueryWork:     eng.Schedule().WorkPerSource(),
+	}
+	return out, nil
+}

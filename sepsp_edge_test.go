@@ -1,0 +1,142 @@
+package sepsp
+
+import (
+	"math"
+	"testing"
+)
+
+// Edge-case behavior of the public API on degenerate inputs.
+
+func TestSingleVertexGraph(t *testing.T) {
+	ix, err := Build(NewGraph(1), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := ix.SSSP(0)
+	if len(d) != 1 || d[0] != 0 {
+		t.Fatalf("d=%v", d)
+	}
+	path, w, ok := ix.Path(0, 0)
+	if !ok || w != 0 || len(path) != 1 {
+		t.Fatalf("path=%v w=%v ok=%v", path, w, ok)
+	}
+}
+
+func TestEmptyEdgeSet(t *testing.T) {
+	ix, err := Build(NewGraph(5), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := ix.SSSP(2)
+	for v, x := range d {
+		if v == 2 && x != 0 {
+			t.Fatalf("self distance %v", x)
+		}
+		if v != 2 && !math.IsInf(x, 1) {
+			t.Fatalf("unexpected reachability to %d", v)
+		}
+	}
+}
+
+func TestPositiveSelfLoopIgnored(t *testing.T) {
+	g := NewGraph(3)
+	g.AddEdge(0, 0, 5) // harmless
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 2, 1)
+	ix, err := Build(g, &Options{LeafSize: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := ix.SSSP(0)
+	if d[0] != 0 || d[2] != 2 {
+		t.Fatalf("d=%v", d)
+	}
+}
+
+func TestNegativeSelfLoopIsNegativeCycle(t *testing.T) {
+	g := NewGraph(2)
+	g.AddEdge(0, 0, -1)
+	g.AddEdge(0, 1, 1)
+	if _, err := Build(g, nil); err == nil {
+		t.Fatal("negative self-loop accepted")
+	}
+}
+
+func TestZeroWeightCyclesExact(t *testing.T) {
+	// A zero-weight 3-cycle plus exits: distances are well-defined and the
+	// engine must not loop or drift.
+	g := NewGraph(5)
+	g.AddEdge(0, 1, 0)
+	g.AddEdge(1, 2, 0)
+	g.AddEdge(2, 0, 0)
+	g.AddEdge(1, 3, 2)
+	g.AddEdge(2, 4, 3)
+	ix, err := Build(g, &Options{LeafSize: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := ix.SSSP(0)
+	want := []float64{0, 0, 0, 2, 3}
+	for v := range want {
+		if d[v] != want[v] {
+			t.Fatalf("d=%v want %v", d, want)
+		}
+	}
+	// Shortest-path tree still extractable despite zero-weight ties.
+	_, parent := ix.SSSPTree(0)
+	for v := 0; v < 5; v++ {
+		if parent[v] == -1 {
+			t.Fatalf("vertex %d missing from tree", v)
+		}
+	}
+	// The parent structure must be acyclic (reach the root).
+	for v := 0; v < 5; v++ {
+		u, steps := v, 0
+		for u != 0 {
+			u = parent[u]
+			if steps++; steps > 5 {
+				t.Fatalf("parent cycle at %d", v)
+			}
+		}
+	}
+}
+
+func TestParallelEdgesKeepMinimum(t *testing.T) {
+	g := NewGraph(2)
+	g.AddEdge(0, 1, 9)
+	g.AddEdge(0, 1, 3)
+	g.AddEdge(0, 1, 7)
+	ix, err := Build(g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := ix.SSSP(0)[1]; d != 3 {
+		t.Fatalf("d=%v", d)
+	}
+}
+
+func TestOraclePublicAPI(t *testing.T) {
+	gg, grid := gridGraph(t, 8, 7, 31)
+	ix, err := Build(gg, &Options{Coordinates: grid.Coord})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, err := ix.BuildOracle()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.LabelEntries() <= 0 {
+		t.Fatal("empty labels")
+	}
+	pairs := [][2]int{{0, 55}, {10, 3}, {42, 42}}
+	got := o.Pairs(pairs)
+	for i, p := range pairs {
+		want := ix.SSSP(p[0])[p[1]]
+		if math.Abs(got[i]-want) > 1e-8*(1+math.Abs(want)) {
+			t.Fatalf("pair %v: oracle %v engine %v", p, got[i], want)
+		}
+		if o.Dist(p[0], p[1]) != got[i] {
+			t.Fatal("Dist and Pairs disagree")
+		}
+	}
+}

@@ -1,0 +1,175 @@
+package sepsp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"sepsp/internal/baseline"
+	"sepsp/internal/graph"
+	"sepsp/internal/graph/gen"
+)
+
+// Module-level differential fuzzing: random workloads from every generator
+// family through the full public pipeline, validated against Bellman-Ford.
+
+func diffCheck(t *testing.T, seed int64, g *Graph, opt *Options, ref *graph.Digraph) bool {
+	t.Helper()
+	ix, err := Build(g, opt)
+	if err != nil {
+		t.Errorf("seed=%d: Build: %v", seed, err)
+		return false
+	}
+	rng := rand.New(rand.NewSource(seed ^ 0x777))
+	for trial := 0; trial < 3; trial++ {
+		src := rng.Intn(ref.N())
+		want, err := baseline.BellmanFord(ref, src, nil)
+		if err != nil {
+			t.Errorf("seed=%d: BF: %v", seed, err)
+			return false
+		}
+		got := ix.SSSP(src)
+		for v := range want {
+			if math.IsInf(want[v], 1) != math.IsInf(got[v], 1) ||
+				(!math.IsInf(want[v], 1) && math.Abs(got[v]-want[v]) > 1e-8*(1+math.Abs(want[v]))) {
+				t.Errorf("seed=%d src=%d v=%d: %v want %v", seed, src, v, got[v], want[v])
+				return false
+			}
+		}
+		// Independent certificate check (no reference implementation).
+		if err := ix.Verify(src, got); err != nil {
+			t.Errorf("seed=%d src=%d: certificate rejected: %v", seed, src, err)
+			return false
+		}
+	}
+	return true
+}
+
+func toPublic(dg *graph.Digraph) *Graph {
+	g := NewGraph(dg.N())
+	dg.Edges(func(from, to int, w float64) bool {
+		g.AddEdge(from, to, w)
+		return true
+	})
+	return g
+}
+
+func TestFuzzGridsAllAlgorithms(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		dims := []int{2 + rng.Intn(8), 2 + rng.Intn(8)}
+		if rng.Intn(3) == 0 {
+			dims = append(dims, 2+rng.Intn(3))
+		}
+		grid := gen.NewGrid(dims, gen.UniformWeights(0, 4), rng)
+		ref := grid.G
+		if rng.Intn(2) == 0 {
+			ref, _ = gen.PotentialShift(ref, 6, rng)
+		}
+		opt := &Options{Coordinates: grid.Coord, LeafSize: 2 + rng.Intn(7)}
+		if rng.Intn(2) == 0 {
+			opt.Algorithm = Simultaneous
+		}
+		if rng.Intn(3) == 0 {
+			opt.Workers = 1 + rng.Intn(4)
+		}
+		return diffCheck(t, seed, toPublic(ref), opt, ref)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFuzzRandomDigraphsAutoDecomposition(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5 + rng.Intn(80)
+		m := rng.Intn(4 * n)
+		ref := gen.RandomDigraph(n, m, gen.UniformWeights(0, 5), rng)
+		return diffCheck(t, seed, toPublic(ref), &Options{LeafSize: 2 + rng.Intn(8)}, ref)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFuzzKTrees(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := 1 + rng.Intn(4)
+		n := k + 2 + rng.Intn(100)
+		kt := gen.NewKTree(n, k, gen.UniformWeights(0.1, 3), rng)
+		opt := &Options{Bags: kt.Decomp.Bags, BagParents: kt.Decomp.Parent}
+		return diffCheck(t, seed, toPublic(kt.G), opt, kt.G)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFuzzGeometric(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 30 + rng.Intn(200)
+		radius := 0.08 + 0.08*rng.Float64()
+		geo := gen.NewGeometric(n, 2, radius, gen.UniformWeights(0.1, 1), rng)
+		opt := &Options{Points: geo.Points, Radius: radius}
+		return diffCheck(t, seed, toPublic(geo.G), opt, geo.G)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFuzzDelaunayWithRotations(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 30 + rng.Intn(150)
+		d := gen.NewDelaunay(n, gen.UnitWeights(), rng)
+		// Randomly drop some directions (one-way streets); the embedding
+		// stays a superset of the skeleton, which CycleFinder tolerates.
+		g := NewGraph(n)
+		d.G.Edges(func(from, to int, w float64) bool {
+			if rng.Float64() < 0.9 {
+				g.AddEdge(from, to, w)
+			}
+			return true
+		})
+		ref := refGraph(g)
+		return diffCheck(t, seed, g, &Options{Rotations: d.Rotation}, ref)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFuzzOracleAgainstEngine(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		grid := gen.NewGrid([]int{3 + rng.Intn(6), 3 + rng.Intn(6)}, gen.UniformWeights(0.5, 2), rng)
+		ix, err := Build(toPublic(grid.G), &Options{Coordinates: grid.Coord, LeafSize: 3 + rng.Intn(4)})
+		if err != nil {
+			t.Errorf("seed=%d: %v", seed, err)
+			return false
+		}
+		o, err := ix.BuildOracle()
+		if err != nil {
+			t.Errorf("seed=%d: oracle: %v", seed, err)
+			return false
+		}
+		for trial := 0; trial < 10; trial++ {
+			u, v := rng.Intn(grid.G.N()), rng.Intn(grid.G.N())
+			want := ix.SSSP(u)[v]
+			got := o.Dist(u, v)
+			if math.Abs(got-want) > 1e-8*(1+math.Abs(want)) {
+				t.Errorf("seed=%d (%d,%d): oracle %v engine %v", seed, u, v, got, want)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,150 @@
+package sepsp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"sepsp/internal/baseline"
+)
+
+func TestDistTo(t *testing.T) {
+	gg, grid := gridGraph(t, 7, 6, 21)
+	ix, err := Build(gg, &Options{Coordinates: grid.Coord})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := refGraph(gg)
+	dst := 17
+	got, err := ix.DistTo(dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reference: Bellman-Ford on the reversed graph.
+	want, err := baseline.BellmanFord(ref.Reverse(), dst, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := range want {
+		if math.Abs(got[u]-want[u]) > 1e-9*(1+math.Abs(want[u])) {
+			t.Fatalf("DistTo(%d)[%d]=%v want %v", dst, u, got[u], want[u])
+		}
+	}
+	// Consistency with forward queries: dist(u→dst) via SSSP(u).
+	for _, u := range []int{0, 11, 40} {
+		fwd := ix.SSSP(u)[dst]
+		if math.Abs(got[u]-fwd) > 1e-9*(1+math.Abs(fwd)) {
+			t.Fatalf("DistTo and SSSP disagree for u=%d: %v vs %v", u, got[u], fwd)
+		}
+	}
+}
+
+func TestWithWeightsReusesDecomposition(t *testing.T) {
+	gg, grid := gridGraph(t, 8, 8, 22)
+	ix, err := Build(gg, &Options{Coordinates: grid.Coord})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same skeleton, new weights (and flipped weight asymmetry).
+	rng := rand.New(rand.NewSource(99))
+	g2 := NewGraph(grid.G.N())
+	refGraph(gg).Edges(func(from, to int, _ float64) bool {
+		g2.AddEdge(from, to, 1+9*rng.Float64())
+		return true
+	})
+	ix2, err := ix.WithWeights(g2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix2.Stats().TreeHeight != ix.Stats().TreeHeight {
+		t.Fatal("tree not reused")
+	}
+	want, _ := baseline.BellmanFord(refGraph(g2), 0, nil)
+	got := ix2.SSSP(0)
+	for v := range want {
+		if math.Abs(got[v]-want[v]) > 1e-9*(1+math.Abs(want[v])) {
+			t.Fatalf("v=%d: %v want %v", v, got[v], want[v])
+		}
+	}
+}
+
+func TestWithWeightsRejectsDifferentSkeleton(t *testing.T) {
+	gg, grid := gridGraph(t, 5, 5, 23)
+	ix, err := Build(gg, &Options{Coordinates: grid.Coord})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2 := NewGraph(25)
+	g2.AddEdge(0, 24, 1) // new long-range edge changes the skeleton
+	if _, err := ix.WithWeights(g2); err == nil {
+		t.Fatal("different skeleton accepted")
+	}
+}
+
+func TestWithWeightsDetectsNewNegativeCycle(t *testing.T) {
+	gg, grid := gridGraph(t, 5, 5, 24)
+	ix, err := Build(gg, &Options{Coordinates: grid.Coord})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2 := NewGraph(25)
+	refGraph(gg).Edges(func(from, to int, _ float64) bool {
+		g2.AddEdge(from, to, -1) // every 2-cycle of the grid is now negative
+		return true
+	})
+	if _, err := ix.WithWeights(g2); err == nil {
+		t.Fatal("negative cycle in rebound weights not detected")
+	}
+}
+
+func TestSolveConstraintsPublic(t *testing.T) {
+	sol, err := SolveConstraints(3, []Constraint{
+		{I: 1, J: 0, C: -2}, // x1 − x0 ≤ −2, i.e. x0 ≥ x1 + 2
+		{I: 2, J: 1, C: -3}, // x2 − x1 ≤ −3
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(sol[1]-sol[0] <= -2+1e-9 && sol[2]-sol[1] <= -3+1e-9) {
+		t.Fatalf("solution %v violates constraints", sol)
+	}
+	if _, err := SolveConstraints(2, []Constraint{
+		{I: 0, J: 1, C: -1},
+		{I: 1, J: 0, C: -1},
+	}, nil); err == nil {
+		t.Fatal("infeasible accepted")
+	}
+}
+
+func TestBuildWorksOnDisconnectedGraph(t *testing.T) {
+	g := NewGraph(10)
+	g.AddBoth(0, 1, 1)
+	g.AddBoth(2, 3, 1)
+	g.AddEdge(5, 6, 2)
+	ix, err := Build(g, &Options{LeafSize: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := ix.SSSP(0)
+	if d[1] != 1 || !math.IsInf(d[2], 1) || !math.IsInf(d[9], 1) {
+		t.Fatalf("distances wrong: %v", d)
+	}
+}
+
+func TestGraphAccessors(t *testing.T) {
+	g := NewGraph(4)
+	if g.N() != 4 {
+		t.Fatalf("N=%d", g.N())
+	}
+	g.AddBoth(0, 1, 2)
+	ix, err := Build(g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := ix.Dist(1, 0); d != 2 {
+		t.Fatalf("Dist=%v", d)
+	}
+	if _, _, ok := ix.Path(0, 3); ok {
+		t.Fatal("path to isolated vertex should not exist")
+	}
+}
