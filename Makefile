@@ -1,0 +1,22 @@
+GO ?= go
+
+.PHONY: build test vet race check bench
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# check is the tier-1 gate (see README): everything must pass before a
+# change lands.
+check: vet test race
+
+bench:
+	$(GO) test -bench=. -benchmem ./...

@@ -30,7 +30,7 @@ func benchExperiment(b *testing.B, id string) {
 	b.Helper()
 	ex := pram.NewExecutor(-1)
 	for i := 0; i < b.N; i++ {
-		res, err := exp.Run(id, ex, 1)
+		res, err := exp.Run(id, ex, 1, nil)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -50,6 +50,7 @@ func BenchmarkDiameterBound(b *testing.B)         { benchExperiment(b, "E-diam")
 func BenchmarkAugmentationSize(b *testing.B)      { benchExperiment(b, "E-esize") }
 func BenchmarkAlg41vs43(b *testing.B)             { benchExperiment(b, "E-alg41v43") }
 func BenchmarkPhaseSchedule(b *testing.B)         { benchExperiment(b, "E-sched") }
+func BenchmarkPhaseBreakdown(b *testing.B)        { benchExperiment(b, "E-phases") }
 func BenchmarkSequentialCrossover(b *testing.B)   { benchExperiment(b, "E-seq") }
 func BenchmarkReachability(b *testing.B)          { benchExperiment(b, "E-reach") }
 func BenchmarkPlanarQFaces(b *testing.B)          { benchExperiment(b, "E-planar") }

@@ -4,59 +4,128 @@
 //
 // Usage:
 //
-//	benchtab [-exp id[,id...]] [-scale N] [-workers P]
+//	benchtab [-exp id[,id...]] [-scale N] [-workers P] [-json]
+//	         [-trace out.json] [-metrics out.json]
 //
-// With no -exp flag, all experiments run in order.
+// With no -exp flag, all experiments run in order. -json switches the
+// output to one JSON object per experiment (NDJSON), for scripting.
+// -trace and -metrics attach an observability sink to instrumentation-aware
+// experiments (T1-prep, T1-query, E-phases) and export what was collected.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"time"
 
 	"sepsp/internal/exp"
+	"sepsp/internal/obs"
 	"sepsp/internal/pram"
 )
 
+// experimentOutput is one -json record.
+type experimentOutput struct {
+	ID      string       `json:"id"`
+	Tables  []*exp.Table `json:"tables"`
+	Text    []string     `json:"text,omitempty"`
+	Elapsed string       `json:"elapsed"`
+}
+
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(argv []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchtab", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		expFlag = flag.String("exp", "", "comma-separated experiment ids (default: all); use -list to enumerate")
-		scale   = flag.Int("scale", 1, "problem-size multiplier")
-		workers = flag.Int("workers", -1, "worker goroutines (PRAM processors); -1 = GOMAXPROCS, 1 = sequential")
-		list    = flag.Bool("list", false, "list experiment ids and exit")
+		expFlag     = fs.String("exp", "", "comma-separated experiment ids (default: all); use -list to enumerate")
+		scale       = fs.Int("scale", 1, "problem-size multiplier")
+		workers     = fs.Int("workers", -1, "worker goroutines (PRAM processors); -1 = GOMAXPROCS, 1 = sequential")
+		list        = fs.Bool("list", false, "list experiment ids and exit")
+		jsonOut     = fs.Bool("json", false, "emit one JSON object per experiment (NDJSON) instead of rendered tables")
+		tracePath   = fs.String("trace", "", "write Chrome trace_event JSON collected across the run here")
+		metricsPath = fs.String("metrics", "", "write a metrics snapshot (JSON) collected across the run here")
 	)
-	flag.Parse()
+	if err := fs.Parse(argv); err != nil {
+		return 2
+	}
 	if *list {
 		for _, id := range exp.IDs() {
-			fmt.Println(id)
+			fmt.Fprintln(stdout, id)
 		}
-		return
+		return 0
 	}
 	ids := exp.IDs()
 	if *expFlag != "" {
 		ids = strings.Split(*expFlag, ",")
 	}
+	var sink *obs.Sink
+	if *tracePath != "" || *metricsPath != "" {
+		sink = &obs.Sink{Metrics: obs.NewRegistry()}
+		if *tracePath != "" {
+			sink.Trace = obs.NewTracer()
+		}
+	}
+	enc := json.NewEncoder(stdout)
 	ex := pram.NewExecutor(*workers)
 	ok := true
 	for _, id := range ids {
 		start := time.Now()
-		res, err := exp.Run(strings.TrimSpace(id), ex, *scale)
+		res, err := exp.Run(strings.TrimSpace(id), ex, *scale, sink)
+		elapsed := time.Since(start).Round(time.Millisecond)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "experiment %s failed: %v\n", id, err)
+			fmt.Fprintf(stderr, "experiment %s failed: %v\n", id, err)
 			ok = false
 			continue
 		}
+		if *jsonOut {
+			rec := experimentOutput{ID: strings.TrimSpace(id), Tables: res.Tables, Text: res.Text, Elapsed: elapsed.String()}
+			if err := enc.Encode(rec); err != nil {
+				fmt.Fprintln(stderr, "benchtab:", err)
+				return 1
+			}
+			continue
+		}
 		for _, t := range res.Tables {
-			t.Render(os.Stdout)
+			t.Render(stdout)
 		}
 		for _, txt := range res.Text {
-			fmt.Println(txt)
+			fmt.Fprintln(stdout, txt)
 		}
-		fmt.Printf("(%s finished in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+		fmt.Fprintf(stdout, "(%s finished in %v)\n\n", id, elapsed)
+	}
+	if *tracePath != "" {
+		if err := writeFile(*tracePath, sink.Trace.WriteJSON); err != nil {
+			fmt.Fprintln(stderr, "benchtab:", err)
+			return 1
+		}
+	}
+	if *metricsPath != "" {
+		snap := sink.Metrics.Snapshot()
+		if err := writeFile(*metricsPath, snap.WriteJSON); err != nil {
+			fmt.Fprintln(stderr, "benchtab:", err)
+			return 1
+		}
 	}
 	if !ok {
-		os.Exit(1)
+		return 1
 	}
+	return 0
+}
+
+func writeFile(path string, emit func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := emit(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

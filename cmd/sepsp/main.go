@@ -3,7 +3,8 @@
 //
 // Usage:
 //
-//	sepsp -graph g.txt [-coords g.coords] [-alg 41|43] [-workers P] <command>
+//	sepsp -graph g.txt [-coords g.coords] [-alg 41|43] [-workers P]
+//	      [-trace out.json] [-metrics out.json] [-pprof dir/] <command>
 //
 // Commands:
 //
@@ -13,47 +14,92 @@
 //	apsp -srcs a,b,c         distances from several sources
 //	pairs -pairs u:v,u:v     exact pair distances via the hub-label oracle
 //	tree                     render the separator decomposition tree
-//	stats                    preprocessing statistics only
+//	stats                    preprocessing statistics and cost breakdowns
+//
+// Observability flags:
+//
+//	-trace out.json          Chrome trace_event spans (chrome://tracing,
+//	                         Perfetto) — one span per preprocessing tree
+//	                         level and per query Bellman-Ford phase
+//	-metrics out.json        metrics snapshot (counters/gauges/histograms)
+//	-pprof dir/              write dir/cpu.pprof and dir/heap.pprof, with
+//	                         phase= labels on instrumented sections
 package main
 
 import (
 	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"os/signal"
+	"path/filepath"
 	"strconv"
 	"strings"
+	"syscall"
 
 	sepsp "sepsp"
 	"sepsp/internal/graph"
+	"sepsp/internal/obs"
 )
 
 func main() {
+	// Without a SIGPIPE handler the Go runtime kills the process on a
+	// write to a closed stdout (e.g. `sssp | head`), losing the -trace /
+	// -metrics / -pprof exports. Catching it turns the broken pipe into an
+	// ordinary write error that run handles after exporting.
+	signal.Notify(make(chan os.Signal, 1), syscall.SIGPIPE)
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(argv []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("sepsp", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		graphPath  = flag.String("graph", "", "input graph file (required)")
-		coordsPath = flag.String("coords", "", "optional integer coordinates file enabling hyperplane separators")
-		alg        = flag.Int("alg", 41, "E+ construction: 41 (leaves-up) or 43 (simultaneous)")
-		workers    = flag.Int("workers", 1, "goroutine workers (PRAM processors); -1 = GOMAXPROCS")
-		src        = flag.Int("src", 0, "source vertex")
-		dst        = flag.Int("dst", 0, "destination vertex (path)")
-		srcsFlag   = flag.String("srcs", "", "comma-separated sources (apsp)")
-		pairsFlag  = flag.String("pairs", "", "comma-separated u:v pairs (pairs)")
+		graphPath   = fs.String("graph", "", "input graph file (required)")
+		coordsPath  = fs.String("coords", "", "optional integer coordinates file enabling hyperplane separators")
+		alg         = fs.Int("alg", 41, "E+ construction: 41 (leaves-up) or 43 (simultaneous)")
+		workers     = fs.Int("workers", 1, "goroutine workers (PRAM processors); -1 = GOMAXPROCS")
+		src         = fs.Int("src", 0, "source vertex")
+		dst         = fs.Int("dst", 0, "destination vertex (path)")
+		srcsFlag    = fs.String("srcs", "", "comma-separated sources (apsp)")
+		pairsFlag   = fs.String("pairs", "", "comma-separated u:v pairs (pairs)")
+		tracePath   = fs.String("trace", "", "write Chrome trace_event JSON here")
+		metricsPath = fs.String("metrics", "", "write a metrics snapshot (JSON) here")
+		pprofDir    = fs.String("pprof", "", "write cpu.pprof and heap.pprof into this directory")
 	)
-	flag.Parse()
-	if *graphPath == "" || flag.NArg() != 1 {
-		flag.Usage()
-		os.Exit(2)
+	if err := fs.Parse(argv); err != nil {
+		return 2
 	}
-	cmd := flag.Arg(0)
+	// Flags may appear before or after the command word: both
+	// "sepsp -graph g.txt -src 0 sssp" and "sepsp -graph g.txt sssp -src 0"
+	// parse; a second Parse consumes the trailing flags.
+	if fs.NArg() == 0 {
+		fs.Usage()
+		return 2
+	}
+	cmd := fs.Arg(0)
+	if err := fs.Parse(fs.Args()[1:]); err != nil {
+		return 2
+	}
+	if *graphPath == "" || fs.NArg() != 0 {
+		fs.Usage()
+		return 2
+	}
+
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "sepsp:", err)
+		return 1
+	}
 
 	f, err := os.Open(*graphPath)
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
 	dg, err := graph.Read(f)
 	f.Close()
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
 	g := sepsp.NewGraph(dg.N())
 	dg.Edges(func(from, to int, w float64) bool {
@@ -67,42 +113,82 @@ func main() {
 	if *coordsPath != "" {
 		coords, err := readCoords(*coordsPath, dg.N())
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
 		opt.Coordinates = coords
 	}
+
+	// The stats command needs the per-level breakdown, which only an
+	// observed build collects; the export flags need one by definition.
+	var ob *sepsp.Observer
+	if *tracePath != "" || *metricsPath != "" || *pprofDir != "" || cmd == "stats" {
+		ob = sepsp.NewObserver()
+		opt.Observer = ob
+	}
+	var prof *obs.Profiler
+	if *pprofDir != "" {
+		ob.EnablePprofLabels()
+		if prof, err = obs.StartProfiles(*pprofDir); err != nil {
+			return fail(err)
+		}
+	}
+
 	ix, err := sepsp.Build(g, opt)
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
-	w := bufio.NewWriter(os.Stdout)
-	defer w.Flush()
+	w := bufio.NewWriter(stdout)
+	code := runCommand(w, ix, dg, cmd, *src, *dst, *srcsFlag, *pairsFlag, stderr)
+	// A broken stdout (e.g. `sssp | head` closing the pipe) must not lose
+	// the observability exports: stop profiles and write the requested
+	// files regardless, then report the first failure.
+	if err := w.Flush(); err != nil && code == 0 {
+		code = fail(err)
+	}
+	if prof != nil {
+		if err := prof.Stop(); err != nil && code == 0 {
+			code = fail(err)
+		}
+	}
+	if *tracePath != "" {
+		if err := writeFile(*tracePath, ob.WriteTrace); err != nil && code == 0 {
+			code = fail(err)
+		}
+	}
+	if *metricsPath != "" {
+		if err := writeFile(*metricsPath, ob.WriteMetricsJSON); err != nil && code == 0 {
+			code = fail(err)
+		}
+	}
+	return code
+}
+
+func runCommand(w *bufio.Writer, ix *sepsp.Index, dg *graph.Digraph, cmd string, src, dst int, srcsFlag, pairsFlag string, stderr io.Writer) int {
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "sepsp:", err)
+		return 1
+	}
 	switch cmd {
 	case "stats":
-		st := ix.Stats()
-		fmt.Fprintf(w, "n=%d m=%d\n", dg.N(), dg.M())
-		fmt.Fprintf(w, "prep: work=%d rounds=%d\n", st.PrepWork, st.PrepRounds)
-		fmt.Fprintf(w, "tree: height=%d maxSep=%d\n", st.TreeHeight, st.MaxSeparator)
-		fmt.Fprintf(w, "E+: %d edges, diam(G+) <= %d\n", st.Shortcuts, st.DiameterBound)
-		fmt.Fprintf(w, "query: %d phases, %d relaxations/source\n", st.QueryPhases, st.QueryWork)
+		printStats(w, ix, dg)
 	case "sssp":
-		for v, d := range ix.SSSP(*src) {
+		for v, d := range ix.SSSP(src) {
 			fmt.Fprintf(w, "%d %g\n", v, d)
 		}
 	case "path":
-		path, wgt, ok := ix.Path(*src, *dst)
+		path, wgt, ok := ix.Path(src, dst)
 		if !ok {
 			fmt.Fprintf(w, "unreachable\n")
-			return
+			return 0
 		}
 		fmt.Fprintf(w, "weight %g\n", wgt)
 		for _, v := range path {
 			fmt.Fprintf(w, "%d\n", v)
 		}
 	case "reach":
-		r, err := ix.Reachable(*src)
+		r, err := ix.Reachable(src)
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
 		for v, ok := range r {
 			if ok {
@@ -112,23 +198,23 @@ func main() {
 	case "tree":
 		fmt.Fprint(w, ix.RenderDecomposition())
 	case "pairs":
-		pairs, err := parsePairs(*pairsFlag)
+		pairs, err := parsePairs(pairsFlag)
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
 		o, err := ix.BuildOracle()
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
 		for i, d := range o.Pairs(pairs) {
 			fmt.Fprintf(w, "%d %d %g\n", pairs[i][0], pairs[i][1], d)
 		}
 	case "apsp":
 		var srcs []int
-		for _, p := range strings.Split(*srcsFlag, ",") {
+		for _, p := range strings.Split(srcsFlag, ",") {
 			v, err := strconv.Atoi(strings.TrimSpace(p))
 			if err != nil {
-				fatal(fmt.Errorf("bad -srcs: %v", err))
+				return fail(fmt.Errorf("bad -srcs: %v", err))
 			}
 			srcs = append(srcs, v)
 		}
@@ -139,8 +225,64 @@ func main() {
 			}
 		}
 	default:
-		fatal(fmt.Errorf("unknown command %q", cmd))
+		return fail(fmt.Errorf("unknown command %q", cmd))
 	}
+	return 0
+}
+
+// printStats writes the summary plus the per-level preprocessing and
+// per-phase query cost breakdowns (the counted PRAM model, so every number
+// is deterministic for a given graph, decomposition, and algorithm).
+func printStats(w io.Writer, ix *sepsp.Index, dg *graph.Digraph) {
+	st := ix.Stats()
+	fmt.Fprintf(w, "n=%d m=%d\n", dg.N(), dg.M())
+	fmt.Fprintf(w, "prep: work=%d rounds=%d\n", st.PrepWork, st.PrepRounds)
+	fmt.Fprintf(w, "tree: height=%d maxSep=%d\n", st.TreeHeight, st.MaxSeparator)
+	fmt.Fprintf(w, "E+: %d edges, diam(G+) <= %d\n", st.Shortcuts, st.DiameterBound)
+	fmt.Fprintf(w, "query: %d phases, %d relaxations/source\n", st.QueryPhases, st.QueryWork)
+
+	if len(st.Levels) > 0 {
+		fmt.Fprintf(w, "\nprep by tree level:\n")
+		fmt.Fprintf(w, "  %5s  %5s  %10s  %7s  %10s\n", "level", "nodes", "work", "rounds", "E+ contrib")
+		var tn int
+		var tw, tr, ts int64
+		for _, ls := range st.Levels {
+			fmt.Fprintf(w, "  %5d  %5d  %10d  %7d  %10d\n", ls.Level, ls.Nodes, ls.Work, ls.Rounds, ls.Shortcuts)
+			tn += ls.Nodes
+			tw += ls.Work
+			tr += ls.Rounds
+			ts += ls.Shortcuts
+		}
+		fmt.Fprintf(w, "  %5s  %5d  %10d  %7d  %10d\n", "total", tn, tw, tr, ts)
+	}
+
+	fmt.Fprintf(w, "\nquery by phase kind:\n")
+	fmt.Fprintf(w, "  %-9s  %6s  %12s\n", "kind", "phases", "relax/source")
+	var tp int
+	var tw int64
+	for _, ps := range st.PhaseBreakdown {
+		fmt.Fprintf(w, "  %-9s  %6d  %12d\n", ps.Kind, ps.Phases, ps.Work)
+		tp += ps.Phases
+		tw += ps.Work
+	}
+	fmt.Fprintf(w, "  %-9s  %6d  %12d\n", "total", tp, tw)
+}
+
+func writeFile(path string, emit func(io.Writer) error) error {
+	if dir := filepath.Dir(path); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := emit(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func parsePairs(s string) ([][2]int, error) {
@@ -196,9 +338,4 @@ func readCoords(path string, n int) ([][]int, error) {
 		return nil, fmt.Errorf("coords: %d rows for %d vertices", len(coords), n)
 	}
 	return coords, nil
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "sepsp:", err)
-	os.Exit(1)
 }

@@ -1,8 +1,10 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -43,5 +45,139 @@ func TestParsePairs(t *testing.T) {
 		if _, err := parsePairs(bad); err == nil {
 			t.Fatalf("bad pairs %q accepted", bad)
 		}
+	}
+}
+
+func runCLI(t *testing.T, args ...string) (string, string, int) {
+	t.Helper()
+	var out, errb strings.Builder
+	code := run(args, &out, &errb)
+	return out.String(), errb.String(), code
+}
+
+// TestStatsGolden locks the stats command's per-level and per-phase
+// breakdown output. Everything printed is counted PRAM cost (deterministic
+// for a fixed graph, decomposition, and algorithm), so a byte-exact golden
+// comparison is safe.
+func TestStatsGolden(t *testing.T) {
+	out, errOut, code := runCLI(t,
+		"-graph", "testdata/grid6.txt", "-coords", "testdata/grid6.coords", "stats")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut)
+	}
+	golden, err := os.ReadFile("testdata/stats.golden")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != string(golden) {
+		t.Fatalf("stats output diverged from testdata/stats.golden:\n--- got ---\n%s--- want ---\n%s", out, golden)
+	}
+}
+
+// TestTraceAndMetricsFlags is the CLI acceptance check: an sssp run with
+// -trace and -metrics produces loadable JSON with a span for every
+// preprocessing level and every query phase, and per-phase work counters
+// that sum to the schedule total.
+func TestTraceAndMetricsFlags(t *testing.T) {
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "t.json")
+	metricsPath := filepath.Join(dir, "m.json")
+	out, errOut, code := runCLI(t,
+		"-graph", "testdata/grid6.txt", "-coords", "testdata/grid6.coords",
+		"-trace", tracePath, "-metrics", metricsPath, "sssp", "-src", "0")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut)
+	}
+	if !strings.HasPrefix(out, "0 0\n") {
+		t.Fatalf("sssp output does not start with source distance: %q", out[:min(len(out), 40)])
+	}
+
+	raw, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var trace struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &trace); err != nil {
+		t.Fatalf("-trace output is not valid JSON: %v", err)
+	}
+	levels := map[float64]bool{}
+	phases := 0
+	for _, ev := range trace.TraceEvents {
+		switch ev.Name {
+		case "prep.level":
+			levels[ev.Args["level"].(float64)] = true
+		case "query.phase":
+			phases++
+		}
+	}
+	// grid6 has tree height 5 (see stats.golden).
+	for L := 0; L <= 5; L++ {
+		if !levels[float64(L)] {
+			t.Fatalf("trace missing prep.level span for level %d", L)
+		}
+	}
+	if phases == 0 {
+		t.Fatal("trace has no query.phase spans")
+	}
+
+	raw, err = os.ReadFile(metricsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap struct {
+		Counters map[string]int64 `json:"counters"`
+	}
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		t.Fatalf("-metrics output is not valid JSON: %v", err)
+	}
+	var qw int64
+	for name, v := range snap.Counters {
+		if strings.HasPrefix(name, "query.work.") {
+			qw += v
+		}
+	}
+	if qw != 2172 { // relaxations/source, see stats.golden
+		t.Fatalf("query.work.* counters sum to %d, want 2172", qw)
+	}
+	if snap.Counters["query.phases"] != int64(phases) {
+		t.Fatalf("query.phases counter %d, trace has %d phase spans", snap.Counters["query.phases"], phases)
+	}
+}
+
+// TestPprofFlag writes CPU and heap profiles next to the trace.
+func TestPprofFlag(t *testing.T) {
+	dir := t.TempDir()
+	_, errOut, code := runCLI(t,
+		"-graph", "testdata/grid6.txt", "-coords", "testdata/grid6.coords",
+		"-pprof", dir, "sssp", "-src", "0")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut)
+	}
+	for _, name := range []string{"cpu.pprof", "heap.pprof"} {
+		fi, err := os.Stat(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatalf("%s not written: %v", name, err)
+		}
+		if fi.Size() == 0 {
+			t.Fatalf("%s is empty", name)
+		}
+	}
+}
+
+// TestRunBadArgs: usage errors exit 2, runtime errors exit 1.
+func TestRunBadArgs(t *testing.T) {
+	if _, _, code := runCLI(t, "stats"); code != 2 {
+		t.Fatalf("missing -graph: exit %d, want 2", code)
+	}
+	if _, errOut, code := runCLI(t, "-graph", "testdata/missing.txt", "stats"); code != 1 || errOut == "" {
+		t.Fatalf("missing file: exit %d stderr %q", code, errOut)
+	}
+	if _, _, code := runCLI(t, "-graph", "testdata/grid6.txt", "frobnicate"); code != 1 {
+		t.Fatalf("unknown command: exit %d, want 1", code)
 	}
 }

@@ -6,6 +6,7 @@ import (
 
 	"sepsp/internal/graph"
 	"sepsp/internal/matrix"
+	"sepsp/internal/obs"
 	"sepsp/internal/separator"
 )
 
@@ -42,35 +43,47 @@ func Alg41(g *graph.Digraph, t *separator.Tree, cfg Config) (*Result, error) {
 		if len(nodes) == 0 {
 			continue
 		}
-		var maxRounds int64
-		var mu sync.Mutex
-		ex.For(len(nodes), func(i int) {
-			id := nodes[i]
-			nd := &t.Nodes[id]
-			var rounds int64
-			var err error
-			if nd.IsLeaf() {
-				rounds, err = processLeaf41(g, nd, db, bIdx, cfg)
-			} else {
-				rounds, err = processInternal41(nd, db, hsm, bIdx, cfg)
-			}
-			if err != nil {
-				errs[id] = err
-				return
-			}
-			collectors[id] = collectNode41(nd, db[id], hsm[id])
-			mu.Lock()
-			if rounds > maxRounds {
-				maxRounds = rounds
-			}
-			mu.Unlock()
-		})
-		for _, id := range nodes {
-			if errs[id] != nil {
-				return nil, errs[id]
-			}
+		// One attributed stage per tree level: its counted work/rounds flow
+		// into the aggregate Stats unchanged, and additionally land in the
+		// per-level metric series and a trace span.
+		err := cfg.attributed("prep.level",
+			obs.LevelKey(obs.MPrepWork, level), obs.LevelKey(obs.MPrepRounds, level),
+			[]any{"alg", 41, "level", level, "nodes", len(nodes)},
+			func(c Config) error {
+				var maxRounds int64
+				var mu sync.Mutex
+				ex.For(len(nodes), func(i int) {
+					id := nodes[i]
+					nd := &t.Nodes[id]
+					var rounds int64
+					var err error
+					if nd.IsLeaf() {
+						rounds, err = processLeaf41(g, nd, db, bIdx, c)
+					} else {
+						rounds, err = processInternal41(nd, db, hsm, bIdx, c)
+					}
+					if err != nil {
+						errs[id] = err
+						return
+					}
+					collectors[id] = collectNode41(nd, db[id], hsm[id])
+					mu.Lock()
+					if rounds > maxRounds {
+						maxRounds = rounds
+					}
+					mu.Unlock()
+				})
+				for _, id := range nodes {
+					if errs[id] != nil {
+						return errs[id]
+					}
+				}
+				c.Stats.AddRounds(maxRounds)
+				return nil
+			})
+		if err != nil {
+			return nil, err
 		}
-		cfg.Stats.AddRounds(maxRounds)
 		// Matrices of the level below have now been fully consumed.
 		if level+1 <= t.Height {
 			for _, id := range byLevel[level+1] {
@@ -80,9 +93,13 @@ func Alg41(g *graph.Digraph, t *separator.Tree, cfg Config) (*Result, error) {
 		}
 	}
 	out := newCollector()
-	for _, c := range collectors {
+	for id, c := range collectors {
 		if c == nil {
 			continue
+		}
+		if cfg.Obs.Enabled() {
+			cfg.Obs.Counter(obs.LevelKey(obs.MPrepShortcuts, t.Nodes[id].Level)).Add(int64(len(c.m)))
+			cfg.Obs.Histogram("prep.eplus.per_node").Observe(float64(len(c.m)))
 		}
 		out.raw += c.raw
 		for k, w := range c.m {

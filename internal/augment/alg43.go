@@ -6,6 +6,7 @@ import (
 
 	"sepsp/internal/graph"
 	"sepsp/internal/matrix"
+	"sepsp/internal/obs"
 	"sepsp/internal/separator"
 )
 
@@ -44,45 +45,55 @@ func Alg43(g *graph.Digraph, t *separator.Tree, cfg Config) (*Result, error) {
 	errs := make([]error, nn)
 
 	// Step (i): initialize every H(t) — in parallel, one round group.
-	ex.For(nn, func(id int) {
-		nd := &t.Nodes[id]
-		st := &node43{leaf: nd.IsLeaf(), child: nd.Children}
-		if st.leaf {
-			st.u = append([]int(nil), nd.B...)
-		} else {
-			st.u = unionSorted(nd.S, nd.B)
-		}
-		st.uIdx = indexOf(st.u)
-		k := len(st.u)
-		if st.leaf {
-			full, idx, err := leafClosure(g, nd, cfg)
-			if err != nil {
-				errs[id] = err
-				return
-			}
-			st.d = matrix.New(k, k)
-			for i, a := range st.u {
-				for j, b := range st.u {
-					st.d.Set(i, j, full.At(idx[a], idx[b]))
+	err := cfg.attributed("prep.init",
+		obs.MPrepWork+".init", obs.MPrepRounds+".init",
+		[]any{"alg", 43, "nodes", nn},
+		func(c Config) error {
+			ex.For(nn, func(id int) {
+				nd := &t.Nodes[id]
+				st := &node43{leaf: nd.IsLeaf(), child: nd.Children}
+				if st.leaf {
+					st.u = append([]int(nil), nd.B...)
+				} else {
+					st.u = unionSorted(nd.S, nd.B)
+				}
+				st.uIdx = indexOf(st.u)
+				k := len(st.u)
+				if st.leaf {
+					full, idx, err := leafClosure(g, nd, c)
+					if err != nil {
+						errs[id] = err
+						return
+					}
+					st.d = matrix.New(k, k)
+					for i, a := range st.u {
+						for j, b := range st.u {
+							st.d.Set(i, j, full.At(idx[a], idx[b]))
+						}
+					}
+				} else {
+					st.d = matrix.NewSquare(k)
+					for i, a := range st.u {
+						g.Out(a, func(to int, w float64) bool {
+							if j, ok := st.uIdx[to]; ok {
+								st.d.SetMin(i, j, w)
+							}
+							return true
+						})
+					}
+				}
+				nodes[id] = st
+			})
+			for _, err := range errs {
+				if err != nil {
+					return err
 				}
 			}
-		} else {
-			st.d = matrix.NewSquare(k)
-			for i, a := range st.u {
-				g.Out(a, func(to int, w float64) bool {
-					if j, ok := st.uIdx[to]; ok {
-						st.d.SetMin(i, j, w)
-					}
-					return true
-				})
-			}
-		}
-		nodes[id] = st
-	})
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
+			c.Stats.AddRounds(int64(t.MaxLeafSize()) + 1) // leaf closures run concurrently
+			return nil
+		})
+	if err != nil {
+		return nil, err
 	}
 	// Wire up the pull maps (children exist after the init barrier).
 	maxU := 1
@@ -104,7 +115,6 @@ func Alg43(g *graph.Digraph, t *separator.Tree, cfg Config) (*Result, error) {
 			}
 		}
 	}
-	cfg.Stats.AddRounds(int64(t.MaxLeafSize()) + 1) // leaf closures run concurrently
 
 	// Step (ii): 2⌈log n⌉ + 2·d_G (+2 slack) interleaved rounds of
 	// per-node squaring and child pulls, with a global-fixpoint early exit.
@@ -119,44 +129,53 @@ func Alg43(g *graph.Digraph, t *separator.Tree, cfg Config) (*Result, error) {
 	iters := 2*ceilLog2(t.N()) + 2*t.Height + 2
 	for it := 0; it < iters; it++ {
 		var changed atomic.Bool
-		ex.For(nn, func(id int) {
-			if matrix.SquareStep(nodes[id].d, cfg.ex(), cfg.Stats) {
-				changed.Store(true)
-			}
-		})
-		ex.For(nn, func(id int) {
-			st := nodes[id]
-			buf := staged[id][:0]
-			if !st.leaf {
-				for ci := 0; ci < 2; ci++ {
-					cd := nodes[st.child[ci]].d
-					cps, pps := st.childPos[ci], st.parPos[ci]
-					var work int64
-					for a := range cps {
-						for b := range cps {
-							v := cd.At(int(cps[a]), int(cps[b]))
-							i, j := int(pps[a]), int(pps[b])
-							if v < st.d.At(i, j) {
-								buf = append(buf, pulled{int32(i), int32(j), v})
-							}
-						}
-						work += int64(len(cps))
+		err := cfg.attributed("prep.iter",
+			obs.IterKey(obs.MPrepWork, it), obs.IterKey(obs.MPrepRounds, it),
+			[]any{"alg", 43, "iter", it},
+			func(c Config) error {
+				ex.For(nn, func(id int) {
+					if matrix.SquareStep(nodes[id].d, c.ex(), c.Stats) {
+						changed.Store(true)
 					}
-					cfg.Stats.AddWork(work)
-				}
-			}
-			staged[id] = buf
-		})
-		ex.For(nn, func(id int) {
-			st := nodes[id]
-			for _, p := range staged[id] {
-				if p.v < st.d.At(int(p.i), int(p.j)) {
-					st.d.Set(int(p.i), int(p.j), p.v)
-					changed.Store(true)
-				}
-			}
-		})
-		cfg.Stats.AddRounds(matrix.MulRounds(maxU) + 2)
+				})
+				ex.For(nn, func(id int) {
+					st := nodes[id]
+					buf := staged[id][:0]
+					if !st.leaf {
+						for ci := 0; ci < 2; ci++ {
+							cd := nodes[st.child[ci]].d
+							cps, pps := st.childPos[ci], st.parPos[ci]
+							var work int64
+							for a := range cps {
+								for b := range cps {
+									v := cd.At(int(cps[a]), int(cps[b]))
+									i, j := int(pps[a]), int(pps[b])
+									if v < st.d.At(i, j) {
+										buf = append(buf, pulled{int32(i), int32(j), v})
+									}
+								}
+								work += int64(len(cps))
+							}
+							c.Stats.AddWork(work)
+						}
+					}
+					staged[id] = buf
+				})
+				ex.For(nn, func(id int) {
+					st := nodes[id]
+					for _, p := range staged[id] {
+						if p.v < st.d.At(int(p.i), int(p.j)) {
+							st.d.Set(int(p.i), int(p.j), p.v)
+							changed.Store(true)
+						}
+					}
+				})
+				c.Stats.AddRounds(matrix.MulRounds(maxU) + 2)
+				return nil
+			})
+		if err != nil {
+			return nil, err
+		}
 		if !changed.Load() {
 			break
 		}

@@ -24,6 +24,7 @@ import (
 
 	"sepsp/internal/graph"
 	"sepsp/internal/matrix"
+	"sepsp/internal/obs"
 	"sepsp/internal/pram"
 	"sepsp/internal/separator"
 )
@@ -43,6 +44,48 @@ type Config struct {
 	// (O(log²) time, O(n³ log n) work — the paper's parallel choice) to
 	// Floyd-Warshall (O(n) phases, O(n³) work — the sequential choice).
 	UseFloydWarshall bool
+	// Obs receives phase-scoped traces and metrics: per-tree-level work,
+	// rounds, and E+ contributions for Alg41, per-iteration attribution for
+	// Alg43. Nil disables instrumentation entirely (the counted totals in
+	// Stats are identical either way).
+	Obs *obs.Sink
+}
+
+// attributed runs stage under Stats sub-accounting when Obs is enabled: the
+// stage's work/rounds are counted into a fresh pram.Stats, forwarded into
+// cfg.Stats (so totals never change), and recorded under the per-stage
+// metric keys workKey/roundsKey plus a trace span. With Obs disabled the
+// stage runs with cfg untouched.
+func (c Config) attributed(span string, workKey, roundsKey string, kv []any, stage func(Config) error) error {
+	if !c.Obs.Enabled() {
+		return stage(c)
+	}
+	sub := &pram.Stats{}
+	sc := c
+	sc.Stats = sub
+	sp := c.Obs.Span(span, "prep", kv...)
+	var err error
+	c.Obs.Do(func() { err = stage(sc) }, pprofLabels(span, kv)...)
+	sp.End()
+	c.Stats.AddWork(sub.Work())
+	c.Stats.AddRounds(sub.Rounds())
+	c.Obs.Counter(workKey).Add(sub.Work())
+	c.Obs.Counter(roundsKey).Add(sub.Rounds())
+	return err
+}
+
+// pprofLabels flattens a span name and its kv args into a pprof label list
+// (string values only; numbers are formatted).
+func pprofLabels(span string, kv []any) []string {
+	labels := []string{"phase", span}
+	for i := 0; i+1 < len(kv); i += 2 {
+		k, ok := kv[i].(string)
+		if !ok {
+			continue
+		}
+		labels = append(labels, k, fmt.Sprint(kv[i+1]))
+	}
+	return labels
 }
 
 func (c Config) ex() *pram.Executor {

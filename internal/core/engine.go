@@ -6,6 +6,7 @@ import (
 
 	"sepsp/internal/augment"
 	"sepsp/internal/graph"
+	"sepsp/internal/obs"
 	"sepsp/internal/pram"
 	"sepsp/internal/separator"
 )
@@ -32,6 +33,10 @@ type Config struct {
 	UseFloydWarshall bool
 	// PrepStats receives preprocessing work/round counts (nil discards).
 	PrepStats *pram.Stats
+	// Obs receives phase-scoped traces and metrics for preprocessing and
+	// for every query the engine answers (nil: fully disabled — queries
+	// take the uninstrumented path).
+	Obs *obs.Sink
 }
 
 // Engine is a preprocessed shortest-path oracle for one digraph and one
@@ -44,6 +49,7 @@ type Engine struct {
 	aug      *augment.Result
 	schedule *Schedule
 	ex       *pram.Executor
+	obs      *obs.Sink
 }
 
 // NewEngine preprocesses g with the given decomposition tree.
@@ -52,7 +58,7 @@ func NewEngine(g *graph.Digraph, tree *separator.Tree, cfg Config) (*Engine, err
 	if ex == nil {
 		ex = pram.Sequential
 	}
-	acfg := augment.Config{Ex: ex, Stats: cfg.PrepStats, UseFloydWarshall: cfg.UseFloydWarshall}
+	acfg := augment.Config{Ex: ex, Stats: cfg.PrepStats, UseFloydWarshall: cfg.UseFloydWarshall, Obs: cfg.Obs}
 	var (
 		res *augment.Result
 		err error
@@ -68,7 +74,9 @@ func NewEngine(g *graph.Digraph, tree *separator.Tree, cfg Config) (*Engine, err
 	if err != nil {
 		return nil, err
 	}
-	return NewEngineFromParts(g, tree, res, ex), nil
+	eng := NewEngineFromParts(g, tree, res, ex)
+	eng.obs = cfg.Obs
+	return eng, nil
 }
 
 // NewEngineFromParts assembles an engine from an already-computed
@@ -104,6 +112,10 @@ func (e *Engine) Augmentation() *augment.Result { return e.aug }
 // Schedule returns the query phase schedule.
 func (e *Engine) Schedule() *Schedule { return e.schedule }
 
+// SetObs attaches an observability sink to an already-assembled engine (the
+// NewEngineFromParts path); nil detaches.
+func (e *Engine) SetObs(s *obs.Sink) { e.obs = s }
+
 // DiameterBound returns Theorem 3.1's bound on diam(G+).
 func (e *Engine) DiameterBound() int { return augment.DiameterBound(e.tree) }
 
@@ -127,7 +139,7 @@ func (e *Engine) SSSPFrom(init []float64, st *pram.Stats) []float64 {
 	}
 	dist := make([]float64, len(init))
 	copy(dist, init)
-	e.schedule.Run(func(edges []graph.Edge) {
+	relax := func(edges []graph.Edge) {
 		for _, ed := range edges {
 			if du := dist[ed.From]; du+ed.W < dist[ed.To] {
 				dist[ed.To] = du + ed.W
@@ -135,7 +147,21 @@ func (e *Engine) SSSPFrom(init []float64, st *pram.Stats) []float64 {
 		}
 		st.AddWork(int64(len(edges)))
 		st.AddRounds(1) // one phase; O(log n) EREW steps, see Section 2.2
+	}
+	if !e.obs.Enabled() {
+		e.schedule.Run(relax)
+		return dist
+	}
+	qs := e.obs.Span("query.sssp", "query", "phases", e.schedule.Phases())
+	e.schedule.RunPhases(func(ph PhaseInfo, edges []graph.Edge) {
+		sp := e.obs.Span("query.phase", "query",
+			"index", ph.Index, "kind", string(ph.Kind), "level", ph.Level, "edges", len(edges))
+		e.obs.Do(func() { relax(edges) }, "phase", string(ph.Kind))
+		sp.End()
+		e.obs.Counter(obs.MQueryWork + "." + string(ph.Kind)).Add(int64(len(edges)))
+		e.obs.Counter(obs.MQueryPhases).Inc()
 	})
+	qs.End()
 	return dist
 }
 

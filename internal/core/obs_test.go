@@ -1,0 +1,116 @@
+package core
+
+import (
+	"testing"
+
+	"sepsp/internal/graph"
+	"sepsp/internal/graph/gen"
+	"sepsp/internal/obs"
+	"sepsp/internal/pram"
+)
+
+// TestSchedulePhasesFormula is the deterministic regression test for the
+// §3.2 schedule shape: Phases() == 2ℓ + 4(d_G + 1), RunPhases emits exactly
+// that many phases with consecutive indices, and the static Breakdown
+// reconciles with WorkPerSource.
+func TestSchedulePhasesFormula(t *testing.T) {
+	eng, _ := buildGridEngine(t, []int{8, 8}, gen.UniformWeights(0.5, 2), 5, Config{})
+	s := eng.Schedule()
+	tree := eng.Tree()
+
+	l := tree.MaxLeafSize() - 1
+	want := 2*l + 4*(tree.Height+1)
+	if got := s.Phases(); got != want {
+		t.Fatalf("Phases()=%d, want 2ℓ+4(d_G+1)=%d (ℓ=%d, d_G=%d)", got, want, l, tree.Height)
+	}
+
+	var emitted int
+	var relaxations int64
+	s.RunPhases(func(ph PhaseInfo, edges []graph.Edge) {
+		if ph.Index != emitted {
+			t.Fatalf("phase index %d out of order (want %d)", ph.Index, emitted)
+		}
+		switch ph.Kind {
+		case PhaseEllPre, PhaseEllPost:
+			if ph.Level != -1 {
+				t.Fatalf("ℓ-sweep phase carries level %d", ph.Level)
+			}
+		default:
+			if ph.Level < 0 || ph.Level > tree.Height {
+				t.Fatalf("phase kind %s has level %d outside [0,%d]", ph.Kind, ph.Level, tree.Height)
+			}
+		}
+		emitted++
+		relaxations += int64(len(edges))
+	})
+	if emitted != want {
+		t.Fatalf("RunPhases emitted %d phases, want %d", emitted, want)
+	}
+	if relaxations != s.WorkPerSource() {
+		t.Fatalf("RunPhases scans %d edges, WorkPerSource says %d", relaxations, s.WorkPerSource())
+	}
+
+	var bdPhases int
+	var bdWork int64
+	for _, pw := range s.Breakdown() {
+		bdPhases += pw.Phases
+		bdWork += pw.Work
+	}
+	if bdPhases != want || bdWork != s.WorkPerSource() {
+		t.Fatalf("Breakdown sums phases=%d work=%d, want %d and %d", bdPhases, bdWork, want, s.WorkPerSource())
+	}
+}
+
+// TestQueryPhaseMetricsSumToStats asserts the instrumentation neither
+// double- nor under-counts: after one SSSP, the per-phase-kind relaxation
+// counters sum exactly to the pram.Stats work total (which itself equals the
+// schedule's WorkPerSource), and the phase counter matches Phases().
+func TestQueryPhaseMetricsSumToStats(t *testing.T) {
+	sink := &obs.Sink{Trace: obs.NewTracer(), Metrics: obs.NewRegistry()}
+	eng, g := buildGridEngine(t, []int{9, 7}, gen.UniformWeights(0.5, 2), 9, Config{Obs: sink})
+
+	prepEvents := sink.Trace.Len() // spans emitted by E+ construction
+	st := &pram.Stats{}
+	dist := eng.SSSP(0, st)
+
+	snap := sink.Metrics.Snapshot()
+	if got := snap.SumCounters(obs.MQueryWork + "."); got != st.Work() {
+		t.Fatalf("per-phase work counters sum to %d, Stats total is %d", got, st.Work())
+	}
+	if st.Work() != eng.Schedule().WorkPerSource() {
+		t.Fatalf("Stats work %d != WorkPerSource %d", st.Work(), eng.Schedule().WorkPerSource())
+	}
+	if got := snap.Counters[obs.MQueryPhases]; got != int64(eng.Schedule().Phases()) {
+		t.Fatalf("phase counter %d, want %d", got, eng.Schedule().Phases())
+	}
+	// One query.sssp span plus one query.phase span per phase.
+	if got := sink.Trace.Len() - prepEvents; got != eng.Schedule().Phases()+1 {
+		t.Fatalf("query added %d trace events, want %d", got, eng.Schedule().Phases()+1)
+	}
+	if prepEvents == 0 {
+		t.Fatal("preprocessing emitted no spans")
+	}
+
+	// The instrumented path must compute the same distances as the plain one.
+	plainEng, _ := buildGridEngine(t, []int{9, 7}, gen.UniformWeights(0.5, 2), 9, Config{})
+	for v, d := range plainEng.SSSP(0, nil) {
+		if !almostEqual(d, dist[v]) {
+			t.Fatalf("instrumented dist[%d]=%v, plain %v", v, dist[v], d)
+		}
+	}
+	_ = g
+}
+
+// TestEngineObsDisabledPathUntouched: with no sink, queries take the
+// uninstrumented Run path and counted work matches the schedule exactly.
+func TestEngineObsDisabledPathUntouched(t *testing.T) {
+	eng, _ := buildGridEngine(t, []int{8, 8}, gen.UniformWeights(0.5, 2), 5, Config{})
+	st := &pram.Stats{}
+	eng.SSSP(3, st)
+	if st.Work() != eng.Schedule().WorkPerSource() {
+		t.Fatalf("work %d != WorkPerSource %d", st.Work(), eng.Schedule().WorkPerSource())
+	}
+	if st.Rounds() != int64(eng.Schedule().Phases()) {
+		t.Fatalf("rounds %d != Phases %d", st.Rounds(), eng.Schedule().Phases())
+	}
+}

@@ -80,6 +80,79 @@ func NewSchedule(t *separator.Tree, original, shortcuts []graph.Edge, l int) *Sc
 // 2ℓ + 4(d_G + 1).
 func (s *Schedule) Phases() int { return 2*s.l + 4*(s.height+1) }
 
+// PhaseKind labels a phase's position within the §3.2 bitonic schedule.
+type PhaseKind string
+
+const (
+	PhaseEllPre   PhaseKind = "ell-pre"   // original edges, first ℓ sweeps
+	PhaseSameDown PhaseKind = "same-down" // same-level edges, descending sweep
+	PhaseDesc     PhaseKind = "desc"      // descending edges leaving level L
+	PhaseAsc      PhaseKind = "asc"       // ascending edges entering level L
+	PhaseSameUp   PhaseKind = "same-up"   // same-level edges, ascending sweep
+	PhaseEllPost  PhaseKind = "ell-post"  // original edges, last ℓ sweeps
+)
+
+// PhaseKinds lists the kinds in schedule order (the stable iteration order
+// for breakdown tables).
+var PhaseKinds = []PhaseKind{PhaseEllPre, PhaseSameDown, PhaseDesc, PhaseAsc, PhaseSameUp, PhaseEllPost}
+
+// PhaseInfo identifies one phase of the schedule for attribution.
+type PhaseInfo struct {
+	Index int       // 0-based position in the schedule
+	Kind  PhaseKind // position within the bitonic structure
+	Level int       // tree level for level-scoped kinds, -1 for the ℓ sweeps
+}
+
+// PhaseWork is the per-kind slice of the schedule's cost breakdown.
+type PhaseWork struct {
+	Kind   PhaseKind
+	Phases int   // phases of this kind
+	Work   int64 // relaxations performed across them
+}
+
+// Breakdown returns the schedule's cost per phase kind, in schedule order.
+// The Work column sums exactly to WorkPerSource and the Phases column to
+// Phases() — the static counterpart of the per-phase query metrics.
+func (s *Schedule) Breakdown() []PhaseWork {
+	by := make(map[PhaseKind]*PhaseWork, len(PhaseKinds))
+	out := make([]PhaseWork, len(PhaseKinds))
+	for i, k := range PhaseKinds {
+		out[i].Kind = k
+		by[k] = &out[i]
+	}
+	s.RunPhases(func(ph PhaseInfo, edges []graph.Edge) {
+		pw := by[ph.Kind]
+		pw.Phases++
+		pw.Work += int64(len(edges))
+	})
+	return out
+}
+
+// RunPhases executes the schedule like Run, additionally passing each
+// phase's identity — the hook the observability layer attributes per-phase
+// relaxation counts and trace spans to.
+func (s *Schedule) RunPhases(relax func(ph PhaseInfo, edges []graph.Edge)) {
+	idx := 0
+	emit := func(kind PhaseKind, level int, edges []graph.Edge) {
+		relax(PhaseInfo{Index: idx, Kind: kind, Level: level}, edges)
+		idx++
+	}
+	for i := 0; i < s.l; i++ {
+		emit(PhaseEllPre, -1, s.eAll)
+	}
+	for L := s.height; L >= 0; L-- {
+		emit(PhaseSameDown, L, s.same[L])
+		emit(PhaseDesc, L, s.desc[L])
+	}
+	for L := 0; L <= s.height; L++ {
+		emit(PhaseAsc, L, s.asc[L])
+		emit(PhaseSameUp, L, s.same[L])
+	}
+	for i := 0; i < s.l; i++ {
+		emit(PhaseEllPost, -1, s.eAll)
+	}
+}
+
 // WorkPerSource returns the number of edge relaxations one query performs —
 // the quantity bounded by O(ℓ·|E| + |E ∪ E+|) in Section 3.2 (same-level
 // buckets are scanned twice, once per sweep direction).
@@ -95,18 +168,5 @@ func (s *Schedule) WorkPerSource() int64 {
 // is abstracted so the min-plus engine and the boolean reachability engine
 // share one schedule.
 func (s *Schedule) Run(relax func(edges []graph.Edge)) {
-	for i := 0; i < s.l; i++ {
-		relax(s.eAll)
-	}
-	for L := s.height; L >= 0; L-- {
-		relax(s.same[L])
-		relax(s.desc[L])
-	}
-	for L := 0; L <= s.height; L++ {
-		relax(s.asc[L])
-		relax(s.same[L])
-	}
-	for i := 0; i < s.l; i++ {
-		relax(s.eAll)
-	}
+	s.RunPhases(func(_ PhaseInfo, edges []graph.Edge) { relax(edges) })
 }

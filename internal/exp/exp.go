@@ -17,13 +17,14 @@ import (
 	"sepsp/internal/separator"
 )
 
-// Table is a rendered experiment result.
+// Table is a rendered experiment result. The json tags serve benchtab's
+// -json mode (machine-readable experiment output).
 type Table struct {
-	ID     string
-	Title  string
-	Header []string
-	Rows   [][]string
-	Notes  []string
+	ID     string     `json:"id"`
+	Title  string     `json:"title"`
+	Header []string   `json:"header"`
+	Rows   [][]string `json:"rows"`
+	Notes  []string   `json:"notes,omitempty"`
 }
 
 // Render writes the table as aligned text.

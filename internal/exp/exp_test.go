@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"sepsp/internal/graph"
+	"sepsp/internal/obs"
 	"sepsp/internal/pram"
 )
 
@@ -83,12 +84,12 @@ func TestFiguresRun(t *testing.T) {
 }
 
 func TestRegistryUnknownID(t *testing.T) {
-	if _, err := Run("no-such-exp", pram.Sequential, 1); err == nil {
+	if _, err := Run("no-such-exp", pram.Sequential, 1, nil); err == nil {
 		t.Fatal("unknown id accepted")
 	}
 	ids := IDs()
-	if len(ids) != 18 {
-		t.Fatalf("expected 18 registered experiments, have %d: %v", len(ids), ids)
+	if len(ids) != 19 {
+		t.Fatalf("expected 19 registered experiments, have %d: %v", len(ids), ids)
 	}
 }
 
@@ -96,13 +97,36 @@ func TestSmallExperimentsRun(t *testing.T) {
 	// The quick experiments run end-to-end through the registry; the heavy
 	// scaling sweeps are exercised by the benchmarks instead.
 	for _, id := range []string{"F1", "F2", "E-negcyc", "E-semiring"} {
-		res, err := Run(id, pram.Sequential, 1)
+		res, err := Run(id, pram.Sequential, 1, nil)
 		if err != nil {
 			t.Fatalf("%s: %v", id, err)
 		}
 		if len(res.Tables) == 0 {
 			t.Fatalf("%s: no tables", id)
 		}
+	}
+}
+
+func TestPhaseBreakdownExperiment(t *testing.T) {
+	// The experiment self-checks that both attribution tables reproduce the
+	// aggregate counts and errors otherwise, so a clean run is the assertion;
+	// the sink check confirms the caller's registry receives the counters.
+	sink := &obs.Sink{Metrics: obs.NewRegistry()}
+	res, err := Run("E-phases", pram.Sequential, 1, sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tables) != 2 {
+		t.Fatalf("want level + phase tables, got %d", len(res.Tables))
+	}
+	for _, tb := range res.Tables {
+		last := tb.Rows[len(tb.Rows)-1]
+		if last[0] != "total" {
+			t.Fatalf("table %q missing total row: %v", tb.Title, last)
+		}
+	}
+	if sink.Metrics.Snapshot().SumCounters(obs.MPrepWork+".level.") == 0 {
+		t.Fatal("caller sink received no per-level work counters")
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 
 	"sepsp/internal/augment"
 	"sepsp/internal/core"
+	"sepsp/internal/obs"
 	"sepsp/internal/pram"
 )
 
@@ -43,8 +44,9 @@ func queryExponent(mu float64) float64 { return math.Max(1, 2*mu) }
 // Table1Prep reproduces the preprocessing rows of Table 1: counted work and
 // parallel rounds of the E+ construction as functions of n, per μ, with the
 // fitted log-log slope against the predicted exponent. scale multiplies the
-// default problem sizes.
-func Table1Prep(ex *pram.Executor, scale int) (*Table, error) {
+// default problem sizes. sink (nil: disabled) collects per-level spans and
+// counters from every E+ construction the experiment performs.
+func Table1Prep(ex *pram.Executor, scale int, sink *obs.Sink) (*Table, error) {
 	if scale < 1 {
 		scale = 1
 	}
@@ -65,7 +67,7 @@ func Table1Prep(ex *pram.Executor, scale int) (*Table, error) {
 				return nil, err
 			}
 			st := &pram.Stats{}
-			if _, err := augment.Alg41(wl.G, wl.Tree, augment.Config{Ex: ex, Stats: st, UseFloydWarshall: true}); err != nil {
+			if _, err := augment.Alg41(wl.G, wl.Tree, augment.Config{Ex: ex, Stats: st, UseFloydWarshall: true, Obs: sink}); err != nil {
 				return nil, err
 			}
 			nn := float64(wl.G.N())
@@ -86,8 +88,9 @@ func Table1Prep(ex *pram.Executor, scale int) (*Table, error) {
 }
 
 // Table1Query reproduces the per-source row of Table 1: the work of one
-// scheduled SSSP query as a function of n, per μ.
-func Table1Query(ex *pram.Executor, scale int) (*Table, error) {
+// scheduled SSSP query as a function of n, per μ. sink (nil: disabled)
+// collects per-phase spans and relaxation counters from every query.
+func Table1Query(ex *pram.Executor, scale int, sink *obs.Sink) (*Table, error) {
 	if scale < 1 {
 		scale = 1
 	}
@@ -106,7 +109,7 @@ func Table1Query(ex *pram.Executor, scale int) (*Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			eng, err := core.NewEngine(wl.G, wl.Tree, core.Config{Ex: ex, UseFloydWarshall: true})
+			eng, err := core.NewEngine(wl.G, wl.Tree, core.Config{Ex: ex, UseFloydWarshall: true, Obs: sink})
 			if err != nil {
 				return nil, err
 			}

@@ -1,0 +1,211 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilCollectorsAreNoOps(t *testing.T) {
+	var tr *Tracer
+	sp := tr.Start("x", "c", "k", 1)
+	sp.End()
+	tr.Instant("x", "c")
+	if tr.Len() != 0 {
+		t.Fatal("nil tracer recorded events")
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var reg *Registry
+	reg.Counter("a").Add(5)
+	reg.Gauge("b").Set(1)
+	reg.Histogram("c").Observe(1)
+	if reg.CounterValue("a") != 0 {
+		t.Fatal("nil registry counted")
+	}
+	snap := reg.Snapshot()
+	if len(snap.Counters) != 0 {
+		t.Fatal("nil registry snapshot non-empty")
+	}
+
+	var sink *Sink
+	if sink.Enabled() {
+		t.Fatal("nil sink enabled")
+	}
+	sink.Span("x", "c").End()
+	sink.Counter("a").Inc()
+	ran := false
+	sink.Do(func() { ran = true }, "phase", "p")
+	if !ran {
+		t.Fatal("nil sink did not run f")
+	}
+	if (&Sink{}).Enabled() {
+		t.Fatal("zero sink enabled")
+	}
+}
+
+func TestTracerChromeJSON(t *testing.T) {
+	tr := NewTracer()
+	sp := tr.Start("prep.level", "prep", "level", 3, "nodes", 7)
+	time.Sleep(time.Millisecond)
+	sp.End()
+	tr.StartTid(2, "worker", "exec").End()
+	tr.Instant("mark", "prep")
+
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) != 3 {
+		t.Fatalf("got %d events, want 3", len(doc.TraceEvents))
+	}
+	ev := doc.TraceEvents[0]
+	if ev["name"] != "prep.level" || ev["ph"] != "X" {
+		t.Fatalf("bad complete event: %v", ev)
+	}
+	if ev["dur"].(float64) < 500 {
+		t.Fatalf("1ms span has dur %v µs", ev["dur"])
+	}
+	args := ev["args"].(map[string]any)
+	if args["level"].(float64) != 3 || args["nodes"].(float64) != 7 {
+		t.Fatalf("bad args: %v", args)
+	}
+	if doc.TraceEvents[1]["tid"].(float64) != 2 {
+		t.Fatalf("StartTid lost the tid: %v", doc.TraceEvents[1])
+	}
+	if doc.TraceEvents[2]["ph"] != "i" {
+		t.Fatalf("instant event not ph=i: %v", doc.TraceEvents[2])
+	}
+}
+
+func TestTracerConcurrentSpans(t *testing.T) {
+	tr := NewTracer()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				tr.StartTid(g, "s", "c").End()
+			}
+		}(g)
+	}
+	wg.Wait()
+	if tr.Len() != 800 {
+		t.Fatalf("got %d events, want 800", tr.Len())
+	}
+}
+
+func TestRegistrySnapshotAndSums(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(LevelKey(MPrepWork, 0)).Add(10)
+	r.Counter(LevelKey(MPrepWork, 12)).Add(32)
+	r.Counter("other").Add(5)
+	r.Gauge(MExecImbalance).Set(1.5)
+	h := r.Histogram("eplus.per_node")
+	h.Observe(3)
+	h.Observe(5)
+
+	// Same name must return the same instrument.
+	r.Counter("other").Add(1)
+	if got := r.CounterValue("other"); got != 6 {
+		t.Fatalf("counter identity broken: %d", got)
+	}
+
+	snap := r.Snapshot()
+	if got := snap.SumCounters(MPrepWork + ".level."); got != 42 {
+		t.Fatalf("SumCounters=%d, want 42", got)
+	}
+	if snap.Gauges[MExecImbalance] != 1.5 {
+		t.Fatalf("gauge=%v", snap.Gauges[MExecImbalance])
+	}
+	hs := snap.Histograms["eplus.per_node"]
+	if hs.Count != 2 || hs.Sum != 8 || hs.Mean() != 4 {
+		t.Fatalf("histogram snapshot: %+v", hs)
+	}
+
+	var jbuf bytes.Buffer
+	if err := snap.WriteJSON(&jbuf); err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(jbuf.Bytes(), &back); err != nil {
+		t.Fatalf("metrics JSON invalid: %v", err)
+	}
+	if back.Counters[LevelKey(MPrepWork, 12)] != 32 {
+		t.Fatalf("round-trip lost counter: %+v", back.Counters)
+	}
+
+	var tbuf bytes.Buffer
+	if err := snap.WriteText(&tbuf); err != nil {
+		t.Fatal(err)
+	}
+	txt := tbuf.String()
+	if !strings.Contains(txt, "counter prep.work.level.000 10") ||
+		!strings.Contains(txt, "histogram eplus.per_node count=2") {
+		t.Fatalf("text export:\n%s", txt)
+	}
+}
+
+func TestLevelKeySortsNumerically(t *testing.T) {
+	if LevelKey("x", 2) >= LevelKey("x", 10) {
+		t.Fatal("level keys do not sort numerically")
+	}
+	if IterKey("x", 9) >= IterKey("x", 10) {
+		t.Fatal("iter keys do not sort numerically")
+	}
+}
+
+func TestProfilerWritesFiles(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "prof")
+	p, err := StartProfiles(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Burn a little CPU so the profile is non-trivial.
+	x := 0
+	for i := 0; i < 1e6; i++ {
+		x += i * i
+	}
+	_ = x
+	if err := p.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"cpu.pprof", "heap.pprof"} {
+		fi, err := os.Stat(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if fi.Size() == 0 {
+			t.Fatalf("%s is empty", name)
+		}
+	}
+	if err := (*Profiler)(nil).Stop(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSinkDoAppliesLabels(t *testing.T) {
+	s := &Sink{PprofLabels: true}
+	if !s.Enabled() {
+		t.Fatal("labeled sink not enabled")
+	}
+	ran := false
+	s.Do(func() { ran = true }, "phase", "query")
+	if !ran {
+		t.Fatal("Do did not run f")
+	}
+}

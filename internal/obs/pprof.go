@@ -1,0 +1,56 @@
+package obs
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Profiler captures CPU and heap profiles for one run: StartProfiles begins
+// a CPU profile immediately; Stop ends it and additionally writes a heap
+// profile, leaving dir/cpu.pprof and dir/heap.pprof for `go tool pprof`.
+type Profiler struct {
+	dir string
+	cpu *os.File
+}
+
+// StartProfiles creates dir if needed and starts CPU profiling into
+// dir/cpu.pprof.
+func StartProfiles(dir string) (*Profiler, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("obs: profile dir: %w", err)
+	}
+	f, err := os.Create(filepath.Join(dir, "cpu.pprof"))
+	if err != nil {
+		return nil, fmt.Errorf("obs: cpu profile: %w", err)
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("obs: cpu profile: %w", err)
+	}
+	return &Profiler{dir: dir, cpu: f}, nil
+}
+
+// Stop ends the CPU profile and writes the heap profile. Safe to call once;
+// a nil profiler is a no-op.
+func (p *Profiler) Stop() error {
+	if p == nil {
+		return nil
+	}
+	pprof.StopCPUProfile()
+	if err := p.cpu.Close(); err != nil {
+		return err
+	}
+	hf, err := os.Create(filepath.Join(p.dir, "heap.pprof"))
+	if err != nil {
+		return fmt.Errorf("obs: heap profile: %w", err)
+	}
+	defer hf.Close()
+	runtime.GC() // settle live-heap accounting before the snapshot
+	if err := pprof.WriteHeapProfile(hf); err != nil {
+		return fmt.Errorf("obs: heap profile: %w", err)
+	}
+	return nil
+}

@@ -75,9 +75,12 @@ func (s *Stats) Reset() {
 }
 
 // Executor runs parallel-for loops on a bounded number of goroutines,
-// simulating a PRAM with P processors.
+// simulating a PRAM with P processors. Each worker slot keeps a busy-
+// iteration counter (one count per executed loop body), from which
+// LoadStats derives the load imbalance of everything run on the executor.
 type Executor struct {
-	p int
+	p    int
+	busy []atomic.Int64 // busy[w]: iterations executed by worker slot w
 }
 
 // NewExecutor returns an executor with p workers. p <= 0 selects
@@ -86,14 +89,50 @@ func NewExecutor(p int) *Executor {
 	if p <= 0 {
 		p = runtime.GOMAXPROCS(0)
 	}
-	return &Executor{p: p}
+	return &Executor{p: p, busy: make([]atomic.Int64, p)}
 }
 
 // Sequential is a single-worker executor; loops run deterministically inline.
-var Sequential = &Executor{p: 1}
+var Sequential = NewExecutor(1)
 
 // P returns the number of workers.
 func (e *Executor) P() int { return e.p }
+
+// WorkerIters returns a copy of the per-worker busy-iteration counters
+// accumulated since construction (or the last ResetWorkerIters).
+func (e *Executor) WorkerIters() []int64 {
+	out := make([]int64, len(e.busy))
+	for w := range e.busy {
+		out[w] = e.busy[w].Load()
+	}
+	return out
+}
+
+// ResetWorkerIters zeroes the busy-iteration counters.
+func (e *Executor) ResetWorkerIters() {
+	for w := range e.busy {
+		e.busy[w].Store(0)
+	}
+}
+
+// LoadStats summarizes worker load: the maximum and mean busy iterations
+// per worker slot and their ratio. imbalance is 1 for a perfectly balanced
+// (or single-worker, or idle) executor and grows with skew.
+func (e *Executor) LoadStats() (max int64, mean float64, imbalance float64) {
+	var total int64
+	for w := range e.busy {
+		v := e.busy[w].Load()
+		total += v
+		if v > max {
+			max = v
+		}
+	}
+	if total == 0 || len(e.busy) == 0 {
+		return 0, 0, 1
+	}
+	mean = float64(total) / float64(len(e.busy))
+	return max, mean, float64(max) / mean
+}
 
 // For executes fn(i) for every i in [0, n) as one parallel round. Iterations
 // are partitioned into contiguous chunks, one chunk per worker task. fn must
@@ -108,6 +147,7 @@ func (e *Executor) For(n int, fn func(i int)) {
 		for i := 0; i < n; i++ {
 			fn(i)
 		}
+		e.busy[0].Add(int64(n))
 		return
 	}
 	workers := e.p
@@ -126,12 +166,13 @@ func (e *Executor) For(n int, fn func(i int)) {
 			break
 		}
 		wg.Add(1)
-		go func(lo, hi int) {
+		go func(w, lo, hi int) {
 			defer wg.Done()
 			for i := lo; i < hi; i++ {
 				fn(i)
 			}
-		}(lo, hi)
+			e.busy[w].Add(int64(hi - lo))
+		}(w, lo, hi)
 	}
 	wg.Wait()
 }
@@ -146,6 +187,7 @@ func (e *Executor) ForChunked(n int, fn func(lo, hi int)) {
 	}
 	if e.p == 1 {
 		fn(0, n)
+		e.busy[0].Add(int64(n))
 		return
 	}
 	workers := e.p
@@ -164,10 +206,11 @@ func (e *Executor) ForChunked(n int, fn func(lo, hi int)) {
 			break
 		}
 		wg.Add(1)
-		go func(lo, hi int) {
+		go func(w, lo, hi int) {
 			defer wg.Done()
 			fn(lo, hi)
-		}(lo, hi)
+			e.busy[w].Add(int64(hi - lo))
+		}(w, lo, hi)
 	}
 	wg.Wait()
 }

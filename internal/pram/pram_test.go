@@ -118,3 +118,56 @@ func TestNewExecutorDefaults(t *testing.T) {
 		t.Fatal("Sequential must have P=1")
 	}
 }
+
+func TestWorkerItersAndLoadStats(t *testing.T) {
+	// Skewed workload: n=5 on P=4 chunks as 2,2,1,0 — imbalance must
+	// exceed 1. The loop body is irrelevant; only iteration counts are.
+	ex := NewExecutor(4)
+	ex.For(5, func(i int) {})
+	iters := ex.WorkerIters()
+	var total int64
+	for _, v := range iters {
+		total += v
+	}
+	if total != 5 {
+		t.Fatalf("busy iterations sum to %d, want 5 (%v)", total, iters)
+	}
+	max, mean, imb := ex.LoadStats()
+	if max != 2 || mean != 1.25 {
+		t.Fatalf("max=%d mean=%v, want 2 and 1.25", max, mean)
+	}
+	if imb <= 1 {
+		t.Fatalf("skewed workload on P=4 reports imbalance %v, want > 1", imb)
+	}
+
+	// P=1: everything lands on worker 0, imbalance is exactly 1.
+	seq := NewExecutor(1)
+	seq.For(5, func(i int) {})
+	seq.ForChunked(3, func(lo, hi int) {})
+	if _, _, imb := seq.LoadStats(); imb != 1 {
+		t.Fatalf("P=1 imbalance %v, want exactly 1", imb)
+	}
+	if iters := seq.WorkerIters(); len(iters) != 1 || iters[0] != 8 {
+		t.Fatalf("P=1 worker iters %v, want [8]", iters)
+	}
+
+	seq.ResetWorkerIters()
+	if _, _, imb := seq.LoadStats(); imb != 1 {
+		t.Fatalf("idle executor imbalance %v, want 1", imb)
+	}
+	if iters := seq.WorkerIters(); iters[0] != 0 {
+		t.Fatalf("reset left %v", iters)
+	}
+}
+
+func TestForChunkedCountsBusyIters(t *testing.T) {
+	ex := NewExecutor(3)
+	ex.ForChunked(10, func(lo, hi int) {})
+	var total int64
+	for _, v := range ex.WorkerIters() {
+		total += v
+	}
+	if total != 10 {
+		t.Fatalf("ForChunked busy iterations sum to %d, want 10", total)
+	}
+}

@@ -36,10 +36,12 @@ package sepsp
 import (
 	"errors"
 	"fmt"
+	"io"
 
 	"sepsp/internal/augment"
 	"sepsp/internal/core"
 	"sepsp/internal/graph"
+	"sepsp/internal/obs"
 	"sepsp/internal/oracle"
 	"sepsp/internal/planar"
 	"sepsp/internal/pram"
@@ -110,13 +112,56 @@ type Options struct {
 	// graphs: Rotations[v] lists v's neighbors in cyclic (clockwise or
 	// counterclockwise, consistently) order around v.
 	Rotations [][]int
+
+	// Observer, when non-nil, collects phase-scoped traces and metrics for
+	// the build and for every query on the returned Index, and enables the
+	// per-level breakdown in Stats. Nil keeps the uninstrumented fast path.
+	Observer *Observer
 }
 
 func (o *Options) executor() *pram.Executor {
 	if o == nil || o.Workers == 0 {
+		if o != nil && o.Observer != nil {
+			// A private executor so the observer's load-balance gauges
+			// reflect this build only, not the shared Sequential pool.
+			return pram.NewExecutor(1)
+		}
 		return pram.Sequential
 	}
 	return pram.NewExecutor(o.Workers)
+}
+
+// Observer collects observability data — trace spans per preprocessing tree
+// level and per query phase, a metrics registry, optional pprof phase
+// labels — for one Build and the queries on its Index. Exporters emit
+// Chrome trace_event JSON (chrome://tracing, Perfetto) and metric
+// snapshots. An Observer must not be shared between concurrently built
+// indexes (the per-level counters would mix).
+type Observer struct {
+	sink *obs.Sink
+}
+
+// NewObserver returns an observer with tracing and metrics enabled.
+func NewObserver() *Observer {
+	return &Observer{sink: &obs.Sink{Trace: obs.NewTracer(), Metrics: obs.NewRegistry()}}
+}
+
+// EnablePprofLabels turns on runtime/pprof label propagation (phase=,
+// level=) around instrumented phases, so CPU profiles captured while this
+// observer is attached can be filtered per phase.
+func (o *Observer) EnablePprofLabels() { o.sink.PprofLabels = true }
+
+// WriteTrace writes the collected spans as Chrome trace_event JSON.
+func (o *Observer) WriteTrace(w io.Writer) error { return o.sink.Trace.WriteJSON(w) }
+
+// WriteMetricsJSON writes a point-in-time metrics snapshot as JSON.
+func (o *Observer) WriteMetricsJSON(w io.Writer) error {
+	return o.sink.Metrics.Snapshot().WriteJSON(w)
+}
+
+// WriteMetricsText writes the snapshot as sorted "type name value" lines.
+func (o *Observer) WriteMetricsText(w io.Writer) error {
+	return o.sink.Metrics.Snapshot().WriteText(w)
 }
 
 func (o *Options) finder() (separator.Finder, error) {
@@ -170,6 +215,40 @@ type Stats struct {
 	// of the Section 3.2 schedule.
 	QueryPhases int
 	QueryWork   int64
+
+	// PhaseBreakdown splits QueryPhases/QueryWork by position in the §3.2
+	// bitonic schedule (always populated; sums reproduce the totals).
+	PhaseBreakdown []PhaseStat
+	// Levels is the per-tree-level preprocessing breakdown. Populated when
+	// the index was built with an Observer and the LeavesUp algorithm
+	// (Algorithm 4.3 interleaves all levels, so only its per-iteration
+	// metrics exist); nil otherwise.
+	Levels []LevelStat
+}
+
+// LevelStat attributes preprocessing cost to one separator-tree level.
+type LevelStat struct {
+	// Level is the tree depth (0 = root).
+	Level int
+	// Nodes is the number of tree nodes on this level.
+	Nodes int
+	// Work / Rounds are the counted PRAM cost of processing the level.
+	Work   int64
+	Rounds int64
+	// Shortcuts is the level's E+ pair contributions (before global
+	// deduplication, so levels sum to at least Stats.Shortcuts).
+	Shortcuts int64
+}
+
+// PhaseStat attributes per-source query cost to one kind of schedule phase.
+type PhaseStat struct {
+	// Kind is the schedule position: ell-pre, same-down, desc, asc,
+	// same-up, ell-post.
+	Kind string
+	// Phases is how many phases of this kind one query runs.
+	Phases int
+	// Work is the relaxations one query performs across them.
+	Work int64
 }
 
 // Index is a preprocessed shortest-path oracle.
@@ -205,8 +284,12 @@ func Build(g *Graph, opt *Options) (*Index, error) {
 		return nil, err
 	}
 	ex := opt.executor()
+	var sink *obs.Sink
+	if opt != nil && opt.Observer != nil {
+		sink = opt.Observer.sink
+	}
 	prep := &pram.Stats{}
-	eng, err := core.NewEngine(dg, tree, core.Config{Ex: ex, Algorithm: alg, PrepStats: prep})
+	eng, err := core.NewEngine(dg, tree, core.Config{Ex: ex, Algorithm: alg, PrepStats: prep, Obs: sink})
 	if err != nil {
 		if errors.Is(err, augment.ErrNegativeCycle) {
 			return nil, fmt.Errorf("%w: %v", ErrNegativeCycle, err)
@@ -215,16 +298,57 @@ func Build(g *Graph, opt *Options) (*Index, error) {
 	}
 	ix := &Index{eng: eng, ex: ex, alg: alg}
 	ix.stats = Stats{
-		PrepWork:      prep.Work(),
-		PrepRounds:    prep.Rounds(),
-		Shortcuts:     len(eng.Augmentation().Edges),
-		TreeHeight:    tree.Height,
-		MaxSeparator:  tree.MaxSeparatorSize(),
-		DiameterBound: eng.DiameterBound(),
-		QueryPhases:   eng.Schedule().Phases(),
-		QueryWork:     eng.Schedule().WorkPerSource(),
+		PrepWork:       prep.Work(),
+		PrepRounds:     prep.Rounds(),
+		Shortcuts:      len(eng.Augmentation().Edges),
+		TreeHeight:     tree.Height,
+		MaxSeparator:   tree.MaxSeparatorSize(),
+		DiameterBound:  eng.DiameterBound(),
+		QueryPhases:    eng.Schedule().Phases(),
+		QueryWork:      eng.Schedule().WorkPerSource(),
+		PhaseBreakdown: phaseBreakdown(eng.Schedule()),
+	}
+	if sink != nil {
+		if alg == core.Alg41 {
+			ix.stats.Levels = levelBreakdown(sink.Metrics, tree)
+		}
+		max, mean, imb := ex.LoadStats()
+		sink.Metrics.Gauge(obs.MExecWorkers).Set(float64(ex.P()))
+		sink.Metrics.Gauge(obs.MExecImbalance).Set(imb)
+		sink.Metrics.Gauge("exec.busy.max").Set(float64(max))
+		sink.Metrics.Gauge("exec.busy.mean").Set(mean)
 	}
 	return ix, nil
+}
+
+// phaseBreakdown converts the schedule's static cost split into the public
+// Stats shape.
+func phaseBreakdown(s *core.Schedule) []PhaseStat {
+	var out []PhaseStat
+	for _, pw := range s.Breakdown() {
+		out = append(out, PhaseStat{Kind: string(pw.Kind), Phases: pw.Phases, Work: pw.Work})
+	}
+	return out
+}
+
+// levelBreakdown reads the per-level counters Algorithm 4.1 recorded into
+// the observer's registry back into the public Stats shape.
+func levelBreakdown(reg *obs.Registry, tree *separator.Tree) []LevelStat {
+	nodes := make([]int, tree.Height+1)
+	for i := range tree.Nodes {
+		nodes[tree.Nodes[i].Level]++
+	}
+	out := make([]LevelStat, tree.Height+1)
+	for L := 0; L <= tree.Height; L++ {
+		out[L] = LevelStat{
+			Level:     L,
+			Nodes:     nodes[L],
+			Work:      reg.CounterValue(obs.LevelKey(obs.MPrepWork, L)),
+			Rounds:    reg.CounterValue(obs.LevelKey(obs.MPrepRounds, L)),
+			Shortcuts: reg.CounterValue(obs.LevelKey(obs.MPrepShortcuts, L)),
+		}
+	}
+	return out
 }
 
 // Stats returns preprocessing and query cost summaries.
@@ -367,12 +491,13 @@ func (ix *Index) WithWeights(g *Graph) (*Index, error) {
 	out := &Index{eng: eng, ex: ix.ex, alg: ix.alg}
 	tree := ix.eng.Tree()
 	out.stats = Stats{
-		Shortcuts:     len(eng.Augmentation().Edges),
-		TreeHeight:    tree.Height,
-		MaxSeparator:  tree.MaxSeparatorSize(),
-		DiameterBound: eng.DiameterBound(),
-		QueryPhases:   eng.Schedule().Phases(),
-		QueryWork:     eng.Schedule().WorkPerSource(),
+		Shortcuts:      len(eng.Augmentation().Edges),
+		TreeHeight:     tree.Height,
+		MaxSeparator:   tree.MaxSeparatorSize(),
+		DiameterBound:  eng.DiameterBound(),
+		QueryPhases:    eng.Schedule().Phases(),
+		QueryWork:      eng.Schedule().WorkPerSource(),
+		PhaseBreakdown: phaseBreakdown(eng.Schedule()),
 	}
 	return out, nil
 }
