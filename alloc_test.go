@@ -1,0 +1,54 @@
+//go:build !race
+
+package sepsp
+
+// Allocation-regression tests for the pooled query paths. Excluded under
+// -race because the race detector instruments allocations and inflates the
+// counts; `make check` still runs them in the plain test pass.
+
+import "testing"
+
+// TestSSSPSteadyStateAllocs locks in the zero-scratch query path: after
+// warmup, one SSSP call may allocate at most its result slice plus one —
+// the acceptance bound of the concurrent-serving redesign (≤ 2).
+func TestSSSPSteadyStateAllocs(t *testing.T) {
+	g, grid := gridGraph(t, 12, 12, 9)
+	ix, err := Build(g, &Options{Decomposition: GridDecomposition(grid.Coord)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix.SSSP(0) // warm the engine's workspace pool
+	if avg := testing.AllocsPerRun(50, func() { _ = ix.SSSP(1) }); avg > 2 {
+		t.Fatalf("SSSP allocates %.1f objects per call, want <= 2", avg)
+	}
+}
+
+// TestSSSPTreeSteadyStateAllocs bounds the tree query: result dist + parent
+// plus pooled queue scratch.
+func TestSSSPTreeSteadyStateAllocs(t *testing.T) {
+	g, grid := gridGraph(t, 12, 12, 9)
+	ix, err := Build(g, &Options{Decomposition: GridDecomposition(grid.Coord)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix.SSSPTree(0)
+	if avg := testing.AllocsPerRun(50, func() { _, _ = ix.SSSPTree(1) }); avg > 4 {
+		t.Fatalf("SSSPTree allocates %.1f objects per call, want <= 4", avg)
+	}
+}
+
+// TestSourcesBatchedSteadyStateAllocs bounds the batched wave: the k result
+// rows and their spine, with the k×n working buffer pooled.
+func TestSourcesBatchedSteadyStateAllocs(t *testing.T) {
+	g, grid := gridGraph(t, 12, 12, 9)
+	ix, err := Build(g, &Options{Decomposition: GridDecomposition(grid.Coord)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srcs := []int{0, 5, 9, 17}
+	ix.SourcesBatched(srcs)
+	k := float64(len(srcs))
+	if avg := testing.AllocsPerRun(50, func() { _ = ix.SourcesBatched(srcs) }); avg > k+2 {
+		t.Fatalf("SourcesBatched allocates %.1f objects per call, want <= %g (k rows + spine + slack)", avg, k+2)
+	}
+}

@@ -15,6 +15,10 @@
 //	pairs -pairs u:v,u:v     exact pair distances via the hub-label oracle
 //	tree                     render the separator decomposition tree
 //	stats                    preprocessing statistics and cost breakdowns
+//	serve [-clients C] [-requests R] [-maxbatch B] [-inflight F] [-seed S]
+//	                         drive a synthetic concurrent load through the
+//	                         batching Server and print throughput and wave
+//	                         coalescing statistics (load test)
 //
 // Observability flags:
 //
@@ -67,6 +71,11 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		tracePath   = fs.String("trace", "", "write Chrome trace_event JSON here")
 		metricsPath = fs.String("metrics", "", "write a metrics snapshot (JSON) here")
 		pprofDir    = fs.String("pprof", "", "write cpu.pprof and heap.pprof into this directory")
+		clients     = fs.Int("clients", 8, "serve: concurrent client goroutines")
+		requests    = fs.Int("requests", 256, "serve: total SSSP requests across all clients")
+		maxBatch    = fs.Int("maxbatch", 0, "serve: max sources per coalesced wave (0 = default)")
+		inFlight    = fs.Int("inflight", 0, "serve: max admitted requests (0 = default)")
+		seed        = fs.Int64("seed", 1, "serve: source-selection seed")
 	)
 	if err := fs.Parse(argv); err != nil {
 		return 2
@@ -119,9 +128,10 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	}
 
 	// The stats command needs the per-level breakdown, which only an
-	// observed build collects; the export flags need one by definition.
+	// observed build collects; serve reports the server's wave metrics;
+	// the export flags need one by definition.
 	var ob *sepsp.Observer
-	if *tracePath != "" || *metricsPath != "" || *pprofDir != "" || cmd == "stats" {
+	if *tracePath != "" || *metricsPath != "" || *pprofDir != "" || cmd == "stats" || cmd == "serve" {
 		ob = sepsp.NewObserver()
 		opt.Observer = ob
 	}
@@ -138,7 +148,18 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		return fail(err)
 	}
 	w := bufio.NewWriter(stdout)
-	code := runCommand(w, ix, dg, cmd, *src, *dst, *srcsFlag, *pairsFlag, stderr)
+	var code int
+	if cmd == "serve" {
+		code = runServe(w, ix, dg.N(), serveConfig{
+			clients:  *clients,
+			requests: *requests,
+			maxBatch: *maxBatch,
+			inFlight: *inFlight,
+			seed:     *seed,
+		}, ob, stderr)
+	} else {
+		code = runCommand(w, ix, dg, cmd, *src, *dst, *srcsFlag, *pairsFlag, stderr)
+	}
 	// A broken stdout (e.g. `sssp | head` closing the pipe) must not lose
 	// the observability exports: stop profiles and write the requested
 	// files regardless, then report the first failure.

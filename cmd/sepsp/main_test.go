@@ -181,3 +181,39 @@ func TestRunBadArgs(t *testing.T) {
 		t.Fatalf("unknown command: exit %d, want 1", code)
 	}
 }
+
+// TestServeCommand drives the serve subcommand's synthetic load end to end
+// on the checked-in 6x6 grid and checks the summary: every request served,
+// none failed, and the wave metrics account for the full load.
+func TestServeCommand(t *testing.T) {
+	out, errOut, code := runCLI(t,
+		"-graph", "testdata/grid6.txt", "-coords", "testdata/grid6.coords",
+		"serve", "-clients", "4", "-requests", "32", "-maxbatch", "4", "-seed", "3")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut)
+	}
+	for _, want := range []string{
+		"serve: 32 requests, 4 clients\n",
+		"served=32 failed=0",
+		"waves=",
+		"throughput=",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("serve output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestServeBadFlags checks the serve subcommand surfaces server option
+// validation (negative MaxBatch) as a nonzero exit.
+func TestServeBadFlags(t *testing.T) {
+	_, errOut, code := runCLI(t,
+		"-graph", "testdata/grid6.txt", "-coords", "testdata/grid6.coords",
+		"serve", "-maxbatch", "-1")
+	if code == 0 {
+		t.Fatal("negative -maxbatch accepted")
+	}
+	if !strings.Contains(errOut, "invalid options") {
+		t.Fatalf("stderr = %q, want mention of invalid options", errOut)
+	}
+}

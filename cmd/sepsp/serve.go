@@ -1,0 +1,103 @@
+package main
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	sepsp "sepsp"
+	"sepsp/internal/obs"
+)
+
+// serveConfig carries the serve subcommand's load-test parameters.
+type serveConfig struct {
+	clients  int   // concurrent client goroutines
+	requests int   // total SSSP requests issued across all clients
+	maxBatch int   // Server wave cap (0: default)
+	inFlight int   // Server admission cap (0: default)
+	seed     int64 // source-selection seed (deterministic load)
+}
+
+// runServe drives a synthetic concurrent load through a sepsp.Server on the
+// built index and prints a throughput and batching summary — the load-test
+// harness for the concurrent serving layer. Rejected requests
+// (ErrServerOverloaded) are retried after a short backoff so every request
+// is eventually served; the rejection count still shows in the summary.
+func runServe(w io.Writer, ix *sepsp.Index, n int, cfg serveConfig, ob *sepsp.Observer, stderr io.Writer) int {
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "sepsp:", err)
+		return 1
+	}
+	if cfg.clients <= 0 {
+		cfg.clients = 8
+	}
+	if cfg.requests <= 0 {
+		cfg.requests = 256
+	}
+	srv, err := sepsp.NewServer(ix, &sepsp.ServerOptions{
+		MaxBatch:    cfg.maxBatch,
+		MaxInFlight: cfg.inFlight,
+		Observer:    ob,
+	})
+	if err != nil {
+		return fail(err)
+	}
+
+	var served, failed atomic.Int64
+	var firstErr atomic.Value
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < cfg.clients; c++ {
+		quota := cfg.requests / cfg.clients
+		if c < cfg.requests%cfg.clients {
+			quota++
+		}
+		wg.Add(1)
+		go func(c, quota int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.seed + int64(c)))
+			for i := 0; i < quota; i++ {
+				src := rng.Intn(n)
+				for {
+					dist, err := srv.SSSP(nil, src)
+					if errors.Is(err, sepsp.ErrServerOverloaded) {
+						time.Sleep(50 * time.Microsecond)
+						continue
+					}
+					if err != nil || len(dist) != n {
+						if err == nil {
+							err = fmt.Errorf("serve: got %d distances, want %d", len(dist), n)
+						}
+						firstErr.CompareAndSwap(nil, err)
+						failed.Add(1)
+					} else {
+						served.Add(1)
+					}
+					break
+				}
+			}
+		}(c, quota)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	srv.Close()
+
+	if err, _ := firstErr.Load().(error); err != nil {
+		return fail(err)
+	}
+
+	waves := ob.CounterValue(obs.MServerWaves)
+	_, _, meanWave := ob.HistogramStats(obs.MServerWaveSize)
+	fmt.Fprintf(w, "serve: %d requests, %d clients\n", cfg.requests, cfg.clients)
+	fmt.Fprintf(w, "served=%d failed=%d rejected=%d cancelled=%d\n",
+		served.Load(), failed.Load(),
+		ob.CounterValue(obs.MServerRejected), ob.CounterValue(obs.MServerCancelled))
+	fmt.Fprintf(w, "waves=%d meanWave=%.2f\n", waves, meanWave)
+	fmt.Fprintf(w, "elapsed=%s throughput=%.0f req/s\n",
+		elapsed.Round(time.Millisecond), float64(served.Load())/elapsed.Seconds())
+	return 0
+}

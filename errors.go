@@ -1,0 +1,32 @@
+package sepsp
+
+import "errors"
+
+// Sentinel errors. Library entry points wrap these with context via
+// fmt.Errorf("%w: …"), so callers branch with errors.Is:
+//
+//	ix, err := sepsp.Build(g, opt)
+//	switch {
+//	case errors.Is(err, sepsp.ErrBadOptions):      // fix the Options
+//	case errors.Is(err, sepsp.ErrNegativeCycle):   // distances undefined
+//	}
+var (
+	// ErrBadOptions reports an invalid Options value: conflicting or
+	// malformed decomposition hints, a Decomposition constructed from
+	// inconsistent inputs, or invalid server limits.
+	ErrBadOptions = errors.New("sepsp: invalid options")
+
+	// ErrSkeletonMismatch reports that a graph handed to WithWeights does
+	// not share the indexed graph's undirected skeleton, so the
+	// decomposition cannot be reused (paper comment (iv) requires equal
+	// skeletons).
+	ErrSkeletonMismatch = errors.New("sepsp: undirected skeleton mismatch")
+
+	// ErrServerClosed is returned by Server methods after Close.
+	ErrServerClosed = errors.New("sepsp: server closed")
+
+	// ErrServerOverloaded is returned by Server methods when admitting the
+	// request would exceed ServerOptions.MaxInFlight. It is a load-shedding
+	// signal: the caller should back off and retry.
+	ErrServerOverloaded = errors.New("sepsp: server overloaded")
+)

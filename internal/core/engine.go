@@ -1,8 +1,10 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
+	"sync"
 
 	"sepsp/internal/augment"
 	"sepsp/internal/graph"
@@ -43,6 +45,11 @@ type Config struct {
 // separator decomposition tree. Construction computes E+ (and fails with
 // augment.ErrNegativeCycle if the graph has one); queries then answer
 // single-source problems in Schedule.Phases() Bellman-Ford phases.
+//
+// After construction an Engine is immutable (SetObs excepted) and all query
+// methods are safe for arbitrary concurrent use; per-query scratch that
+// never escapes a call is recycled through an internal pool, so the
+// steady-state allocation cost of a query is just its result slices.
 type Engine struct {
 	g        *graph.Digraph
 	tree     *separator.Tree
@@ -50,7 +57,36 @@ type Engine struct {
 	schedule *Schedule
 	ex       *pram.Executor
 	obs      *obs.Sink
+
+	wsPool sync.Pool // of *queryWS
 }
+
+// queryWS is the reusable per-query scratch handed out by the engine's
+// pool: a flat distance buffer for batched waves and an int queue for
+// tight-tree BFS. Only scratch that never escapes a query is pooled —
+// result slices returned to callers are always freshly allocated.
+type queryWS struct {
+	flat  []float64
+	queue []int
+}
+
+// grow returns a flat float64 buffer of length n, reusing capacity.
+func (ws *queryWS) grow(n int) []float64 {
+	if cap(ws.flat) < n {
+		ws.flat = make([]float64, n)
+	}
+	return ws.flat[:n]
+}
+
+func (e *Engine) getWS() *queryWS {
+	ws, _ := e.wsPool.Get().(*queryWS)
+	if ws == nil {
+		ws = &queryWS{}
+	}
+	return ws
+}
+
+func (e *Engine) putWS(ws *queryWS) { e.wsPool.Put(ws) }
 
 // NewEngine preprocesses g with the given decomposition tree.
 func NewEngine(g *graph.Digraph, tree *separator.Tree, cfg Config) (*Engine, error) {
@@ -120,11 +156,24 @@ func (e *Engine) SetObs(s *obs.Sink) { e.obs = s }
 func (e *Engine) DiameterBound() int { return augment.DiameterBound(e.tree) }
 
 // SSSP computes distances from src to every vertex. st (optional) receives
-// the counted relaxation work and phase rounds.
+// the counted relaxation work and phase rounds. The steady-state heap cost
+// of a query is one allocation — the returned distance slice.
 func (e *Engine) SSSP(src int, st *pram.Stats) []float64 {
-	init := newDistVector(e.g.N())
-	init[src] = 0
-	return e.SSSPFrom(init, st)
+	dist, _ := e.SSSPContext(nil, src, st)
+	return dist
+}
+
+// SSSPContext is SSSP with cooperative cancellation: ctx is polled between
+// Bellman-Ford phases, so a cancelled or expired context returns
+// (nil, ctx.Err()) within one phase of relaxation work. A nil ctx skips
+// the polling.
+func (e *Engine) SSSPContext(ctx context.Context, src int, st *pram.Stats) ([]float64, error) {
+	dist := newDistVector(e.g.N())
+	dist[src] = 0
+	if err := e.runSchedule(ctx, dist, st); err != nil {
+		return nil, err
+	}
+	return dist, nil
 }
 
 // SSSPFrom runs the scheduled Bellman-Ford from an arbitrary initial
@@ -139,43 +188,93 @@ func (e *Engine) SSSPFrom(init []float64, st *pram.Stats) []float64 {
 	}
 	dist := make([]float64, len(init))
 	copy(dist, init)
-	relax := func(edges []graph.Edge) {
+	e.runSchedule(nil, dist, st)
+	return dist
+}
+
+// runSchedule relaxes dist in place through the full §3.2 phase schedule,
+// polling ctx between phases when non-nil. The uninstrumented path is
+// closure-free, so it performs no heap allocation.
+func (e *Engine) runSchedule(ctx context.Context, dist []float64, st *pram.Stats) error {
+	if e.obs.Enabled() {
+		return e.runScheduleObserved(ctx, dist, st)
+	}
+	n := e.schedule.Phases()
+	var work, rounds int64
+	for i := 0; i < n; i++ {
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				st.AddWork(work)
+				st.AddRounds(rounds)
+				return err
+			}
+		}
+		_, edges := e.schedule.PhaseAt(i)
 		for _, ed := range edges {
 			if du := dist[ed.From]; du+ed.W < dist[ed.To] {
 				dist[ed.To] = du + ed.W
 			}
 		}
-		st.AddWork(int64(len(edges)))
-		st.AddRounds(1) // one phase; O(log n) EREW steps, see Section 2.2
+		work += int64(len(edges))
+		rounds++ // one phase; O(log n) EREW steps, see Section 2.2
 	}
-	if !e.obs.Enabled() {
-		e.schedule.Run(relax)
-		return dist
-	}
+	st.AddWork(work)
+	st.AddRounds(rounds)
+	return nil
+}
+
+// runScheduleObserved is runSchedule with per-phase spans, pprof labels,
+// and metric attribution (the instrumented slow path).
+func (e *Engine) runScheduleObserved(ctx context.Context, dist []float64, st *pram.Stats) error {
 	qs := e.obs.Span("query.sssp", "query", "phases", e.schedule.Phases())
-	e.schedule.RunPhases(func(ph PhaseInfo, edges []graph.Edge) {
+	defer qs.End()
+	n := e.schedule.Phases()
+	for i := 0; i < n; i++ {
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				e.obs.Counter(obs.MQueryCancelled).Inc()
+				return err
+			}
+		}
+		ph, edges := e.schedule.PhaseAt(i)
 		sp := e.obs.Span("query.phase", "query",
 			"index", ph.Index, "kind", string(ph.Kind), "level", ph.Level, "edges", len(edges))
-		e.obs.Do(func() { relax(edges) }, "phase", string(ph.Kind))
+		e.obs.Do(func() {
+			for _, ed := range edges {
+				if du := dist[ed.From]; du+ed.W < dist[ed.To] {
+					dist[ed.To] = du + ed.W
+				}
+			}
+			st.AddWork(int64(len(edges)))
+			st.AddRounds(1)
+		}, "phase", string(ph.Kind))
 		sp.End()
 		e.obs.Counter(obs.MQueryWork + "." + string(ph.Kind)).Add(int64(len(edges)))
 		e.obs.Counter(obs.MQueryPhases).Inc()
-	})
-	qs.End()
-	return dist
+	}
+	return nil
 }
 
 // Sources computes SSSP from each source in parallel (one goroutine pool
 // round over the sources; counted work is the sum, counted rounds the
 // per-source phase count).
 func (e *Engine) Sources(srcs []int, st *pram.Stats) [][]float64 {
+	out, _ := e.SourcesContext(nil, srcs, st)
+	return out
+}
+
+// SourcesContext is Sources with cooperative cancellation: every per-source
+// query polls ctx between phases, so all workers wind down within one phase
+// of a cancellation and the call returns (nil, ctx.Err()).
+func (e *Engine) SourcesContext(ctx context.Context, srcs []int, st *pram.Stats) ([][]float64, error) {
 	out := make([][]float64, len(srcs))
+	errs := make([]error, len(srcs))
 	perSource := make([]*pram.Stats, len(srcs))
 	for i := range perSource {
 		perSource[i] = &pram.Stats{}
 	}
 	e.ex.For(len(srcs), func(i int) {
-		out[i] = e.SSSP(srcs[i], perSource[i])
+		out[i], errs[i] = e.SSSPContext(ctx, srcs[i], perSource[i])
 	})
 	var maxRounds int64
 	for _, ps := range perSource {
@@ -185,7 +284,12 @@ func (e *Engine) Sources(srcs []int, st *pram.Stats) [][]float64 {
 		}
 	}
 	st.AddRounds(maxRounds)
-	return out
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
 }
 
 // SourcesBatched computes SSSP from k sources by relaxing all k distance
@@ -194,13 +298,24 @@ func (e *Engine) Sources(srcs []int, st *pram.Stats) [][]float64 {
 // phase instead of once per source per phase). Results match Sources
 // exactly; counted work is identical (k relaxations per scanned edge).
 func (e *Engine) SourcesBatched(srcs []int, st *pram.Stats) [][]float64 {
+	out, _ := e.SourcesBatchedContext(nil, srcs, st)
+	return out
+}
+
+// SourcesBatchedContext is SourcesBatched with cooperative cancellation
+// (ctx polled between phases; nil skips polling). The k×n working buffer
+// is drawn from the engine's workspace pool, so steady-state allocations
+// are just the k returned rows.
+func (e *Engine) SourcesBatchedContext(ctx context.Context, srcs []int, st *pram.Stats) ([][]float64, error) {
 	k := len(srcs)
 	if k == 0 {
-		return nil
+		return nil, nil
 	}
 	n := e.g.N()
+	ws := e.getWS()
+	defer e.putWS(ws)
 	// dist[v*k+j] = current distance of v from srcs[j].
-	dist := make([]float64, n*k)
+	dist := ws.grow(n * k)
 	inf := math.Inf(1)
 	for i := range dist {
 		dist[i] = inf
@@ -208,7 +323,17 @@ func (e *Engine) SourcesBatched(srcs []int, st *pram.Stats) [][]float64 {
 	for j, s := range srcs {
 		dist[s*k+j] = 0
 	}
-	e.schedule.Run(func(edges []graph.Edge) {
+	np := e.schedule.Phases()
+	var work, rounds int64
+	for i := 0; i < np; i++ {
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				st.AddWork(work)
+				st.AddRounds(rounds)
+				return nil, err
+			}
+		}
+		_, edges := e.schedule.PhaseAt(i)
 		for _, ed := range edges {
 			from := dist[ed.From*k : ed.From*k+k]
 			to := dist[ed.To*k : ed.To*k+k]
@@ -218,9 +343,11 @@ func (e *Engine) SourcesBatched(srcs []int, st *pram.Stats) [][]float64 {
 				}
 			}
 		}
-		st.AddWork(int64(len(edges)) * int64(k))
-		st.AddRounds(1)
-	})
+		work += int64(len(edges)) * int64(k)
+		rounds++
+	}
+	st.AddWork(work)
+	st.AddRounds(rounds)
 	out := make([][]float64, k)
 	for j := range out {
 		row := make([]float64, n)
@@ -229,7 +356,7 @@ func (e *Engine) SourcesBatched(srcs []int, st *pram.Stats) [][]float64 {
 		}
 		out[j] = row
 	}
-	return out
+	return out, nil
 }
 
 // SSSPTree computes distances from src plus a shortest-path tree in the
@@ -241,23 +368,42 @@ func (e *Engine) SourcesBatched(srcs []int, st *pram.Stats) [][]float64 {
 // tolerance to absorb floating-point reassociation between the shortcut
 // path and the original path.
 func (e *Engine) SSSPTree(src int, st *pram.Stats) (dist []float64, parent []int) {
-	dist = e.SSSP(src, st)
-	parent = TightTree(e.g, src, dist)
+	dist, parent, _ = e.SSSPTreeContext(nil, src, st)
 	return dist, parent
+}
+
+// SSSPTreeContext is SSSPTree with cooperative cancellation during the
+// distance computation (the tight-tree BFS afterwards is linear and is not
+// interrupted). The BFS queue comes from the engine's workspace pool.
+func (e *Engine) SSSPTreeContext(ctx context.Context, src int, st *pram.Stats) (dist []float64, parent []int, err error) {
+	dist, err = e.SSSPContext(ctx, src, st)
+	if err != nil {
+		return nil, nil, err
+	}
+	ws := e.getWS()
+	parent, ws.queue = tightTree(e.g, src, dist, ws.queue)
+	e.putWS(ws)
+	return dist, parent, nil
 }
 
 // TightTree builds a shortest-path tree in g from exact distance values by
 // BFS over tight edges. Exported for reuse by baselines and applications.
 func TightTree(g *graph.Digraph, src int, dist []float64) []int {
+	parent, _ := tightTree(g, src, dist, nil)
+	return parent
+}
+
+// tightTree is TightTree with caller-provided queue scratch; it returns the
+// (possibly grown) scratch so pooled callers can retain it.
+func tightTree(g *graph.Digraph, src int, dist []float64, queue []int) ([]int, []int) {
 	parent := make([]int, g.N())
 	for i := range parent {
 		parent[i] = -1
 	}
 	parent[src] = src
-	queue := []int{src}
-	for len(queue) > 0 {
-		u := queue[0]
-		queue = queue[1:]
+	queue = append(queue[:0], src)
+	for head := 0; head < len(queue); head++ {
+		u := queue[head]
 		du := dist[u]
 		g.Out(u, func(v int, w float64) bool {
 			if parent[v] == -1 && tight(du+w, dist[v]) {
@@ -267,7 +413,7 @@ func TightTree(g *graph.Digraph, src int, dist []float64) []int {
 			return true
 		})
 	}
-	return parent
+	return parent, queue
 }
 
 // tight reports a ≈ b with relative tolerance 1e-9 (both finite).

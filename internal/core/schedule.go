@@ -128,28 +128,44 @@ func (s *Schedule) Breakdown() []PhaseWork {
 	return out
 }
 
+// PhaseAt returns the identity and edge bucket of phase i of the schedule
+// (0 ≤ i < Phases()), the random-access form of the bitonic ordering:
+// ℓ sweeps of all original edges, the descending sweep (same-level then
+// descending edges for L = d_G … 0), the ascending sweep (ascending then
+// same-level edges for L = 0 … d_G), and ℓ closing sweeps. Random access
+// lets hot query loops iterate phases without allocating closures.
+func (s *Schedule) PhaseAt(i int) (PhaseInfo, []graph.Edge) {
+	h := s.height + 1
+	switch {
+	case i < s.l:
+		return PhaseInfo{Index: i, Kind: PhaseEllPre, Level: -1}, s.eAll
+	case i < s.l+2*h:
+		j := i - s.l
+		L := s.height - j/2
+		if j%2 == 0 {
+			return PhaseInfo{Index: i, Kind: PhaseSameDown, Level: L}, s.same[L]
+		}
+		return PhaseInfo{Index: i, Kind: PhaseDesc, Level: L}, s.desc[L]
+	case i < s.l+4*h:
+		j := i - s.l - 2*h
+		L := j / 2
+		if j%2 == 0 {
+			return PhaseInfo{Index: i, Kind: PhaseAsc, Level: L}, s.asc[L]
+		}
+		return PhaseInfo{Index: i, Kind: PhaseSameUp, Level: L}, s.same[L]
+	default:
+		return PhaseInfo{Index: i, Kind: PhaseEllPost, Level: -1}, s.eAll
+	}
+}
+
 // RunPhases executes the schedule like Run, additionally passing each
 // phase's identity — the hook the observability layer attributes per-phase
 // relaxation counts and trace spans to.
 func (s *Schedule) RunPhases(relax func(ph PhaseInfo, edges []graph.Edge)) {
-	idx := 0
-	emit := func(kind PhaseKind, level int, edges []graph.Edge) {
-		relax(PhaseInfo{Index: idx, Kind: kind, Level: level}, edges)
-		idx++
-	}
-	for i := 0; i < s.l; i++ {
-		emit(PhaseEllPre, -1, s.eAll)
-	}
-	for L := s.height; L >= 0; L-- {
-		emit(PhaseSameDown, L, s.same[L])
-		emit(PhaseDesc, L, s.desc[L])
-	}
-	for L := 0; L <= s.height; L++ {
-		emit(PhaseAsc, L, s.asc[L])
-		emit(PhaseSameUp, L, s.same[L])
-	}
-	for i := 0; i < s.l; i++ {
-		emit(PhaseEllPost, -1, s.eAll)
+	n := s.Phases()
+	for i := 0; i < n; i++ {
+		ph, edges := s.PhaseAt(i)
+		relax(ph, edges)
 	}
 }
 

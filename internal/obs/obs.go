@@ -92,10 +92,19 @@ const (
 	MPrepWork      = "prep.work"      // E+ construction work units
 	MPrepRounds    = "prep.rounds"    // E+ construction PRAM rounds
 	MPrepShortcuts = "prep.shortcuts" // E+ pair contributions (pre-dedup)
-	MQueryWork     = "query.work"     // relaxations, per phase kind
-	MQueryPhases   = "query.phases"   // executed relaxation phases
-	MExecImbalance = "exec.imbalance" // max/mean worker busy iterations
-	MExecWorkers   = "exec.workers"   // executor pool size
+	MQueryWork      = "query.work"      // relaxations, per phase kind
+	MQueryPhases    = "query.phases"    // executed relaxation phases
+	MQueryCancelled = "query.cancelled" // queries abandoned on context cancellation
+	MExecImbalance  = "exec.imbalance"  // max/mean worker busy iterations
+	MExecWorkers    = "exec.workers"    // executor pool size
+
+	// Server (concurrent query serving) series.
+	MServerQueueDepth = "server.queue.depth" // gauge: requests waiting for a wave
+	MServerWaveSize   = "server.wave.size"   // histogram: sources per executed wave
+	MServerWaves      = "server.waves"       // counter: executed waves
+	MServerRequests   = "server.requests"    // counter: admitted requests
+	MServerRejected   = "server.rejected"    // counter: requests refused at admission
+	MServerCancelled  = "server.cancelled"   // counter: requests cancelled before their wave
 )
 
 // LevelKey returns the canonical key of a per-tree-level metric series,

@@ -34,16 +34,18 @@
 package sepsp
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
+	"sync"
+	"sync/atomic"
 
 	"sepsp/internal/augment"
 	"sepsp/internal/core"
 	"sepsp/internal/graph"
 	"sepsp/internal/obs"
 	"sepsp/internal/oracle"
-	"sepsp/internal/planar"
 	"sepsp/internal/pram"
 	"sepsp/internal/reach"
 	"sepsp/internal/separator"
@@ -95,22 +97,43 @@ type Options struct {
 	// LeafSize bounds decomposition leaves (default 8).
 	LeafSize int
 
-	// Exactly one of the following decomposition hints may be set; all nil
-	// selects the generic BFS-layer finder.
+	// Decomposition selects the separator strategy, built with one of the
+	// typed constructors (GridDecomposition, GeometricDecomposition,
+	// TreeDecomposition, PlanarDecomposition). Nil — and no deprecated
+	// hint field set — selects the generic BFS-layer finder.
+	Decomposition *Decomposition
+
+	// The remaining hint fields are the pre-Decomposition API. At most one
+	// hint may be set, and none may be combined with Decomposition; Build
+	// fails with ErrBadOptions otherwise.
 
 	// Coordinates enables hyperplane separators for lattice graphs:
 	// Coordinates[v] is the integer grid coordinate of vertex v.
+	//
+	// Deprecated: set Decomposition with GridDecomposition instead.
 	Coordinates [][]int
 	// Points/Radius enable slab separators for geometric (radius) graphs.
+	//
+	// Deprecated: set Decomposition with GeometricDecomposition instead.
 	Points [][]float64
+	// Radius is the connection radius accompanying Points.
+	//
+	// Deprecated: set Decomposition with GeometricDecomposition instead.
 	Radius float64
 	// Bags/BagParents enable tree-decomposition (centroid-bag) separators
 	// for bounded-treewidth graphs.
-	Bags       [][]int
+	//
+	// Deprecated: set Decomposition with TreeDecomposition instead.
+	Bags [][]int
+	// BagParents is the bag-tree parent array accompanying Bags.
+	//
+	// Deprecated: set Decomposition with TreeDecomposition instead.
 	BagParents []int
 	// Rotations enables fundamental-cycle separators for embedded planar
 	// graphs: Rotations[v] lists v's neighbors in cyclic (clockwise or
 	// counterclockwise, consistently) order around v.
+	//
+	// Deprecated: set Decomposition with PlanarDecomposition instead.
 	Rotations [][]int
 
 	// Observer, when non-nil, collects phase-scoped traces and metrics for
@@ -164,38 +187,72 @@ func (o *Observer) WriteMetricsText(w io.Writer) error {
 	return o.sink.Metrics.Snapshot().WriteText(w)
 }
 
+// CounterValue returns the current value of the named registry counter
+// (0 if it was never touched). Useful for programmatic checks of serving
+// metrics such as "server.waves" or "server.rejected".
+func (o *Observer) CounterValue(name string) int64 {
+	return o.sink.Metrics.CounterValue(name)
+}
+
+// GaugeValue returns the last value set on the named registry gauge
+// (0 if it was never set).
+func (o *Observer) GaugeValue(name string) float64 {
+	return o.sink.Metrics.Snapshot().Gauges[name]
+}
+
+// HistogramStats returns the observation count, sum, and mean of the named
+// registry histogram (zeros if it was never observed).
+func (o *Observer) HistogramStats(name string) (count int64, sum, mean float64) {
+	h := o.sink.Metrics.Snapshot().Histograms[name]
+	return h.Count, h.Sum, h.Mean()
+}
+
 func (o *Options) finder() (separator.Finder, error) {
 	if o == nil {
 		return &separator.BFSFinder{}, nil
 	}
+	// Deprecated hint fields forward through the typed constructors, so
+	// validation lives in one place.
+	var legacy *Decomposition
 	set := 0
-	var f separator.Finder = &separator.BFSFinder{}
 	if o.Coordinates != nil {
 		set++
-		f = &separator.CoordinateFinder{Coord: o.Coordinates}
+		legacy = GridDecomposition(o.Coordinates)
 	}
 	if o.Points != nil {
 		set++
-		if o.Radius <= 0 {
-			return nil, fmt.Errorf("sepsp: Points requires a positive Radius")
-		}
-		f = &separator.SlabFinder{Points: o.Points, Radius: o.Radius}
+		legacy = GeometricDecomposition(o.Points, o.Radius)
 	}
 	if o.Bags != nil {
 		set++
-		if len(o.BagParents) != len(o.Bags) {
-			return nil, fmt.Errorf("sepsp: Bags and BagParents must have equal length")
-		}
-		f = &separator.TreeDecompFinder{Bags: o.Bags, Parent: o.BagParents}
+		legacy = TreeDecomposition(o.Bags, o.BagParents)
 	}
 	if o.Rotations != nil {
 		set++
-		f = &planar.CycleFinder{Em: planar.NewEmbeddingFromRotations(o.Rotations)}
+		legacy = PlanarDecomposition(o.Rotations)
 	}
 	if set > 1 {
-		return nil, fmt.Errorf("sepsp: at most one decomposition hint may be set")
+		return nil, fmt.Errorf("%w: at most one decomposition hint may be set", ErrBadOptions)
 	}
-	return f, nil
+	d := o.Decomposition
+	if d != nil {
+		if legacy != nil {
+			return nil, fmt.Errorf("%w: Decomposition conflicts with deprecated hint field (%s hint)",
+				ErrBadOptions, legacy.Kind())
+		}
+	} else {
+		d = legacy
+	}
+	if d == nil {
+		return &separator.BFSFinder{}, nil
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	if d.finder == nil {
+		return nil, fmt.Errorf("%w: zero Decomposition value (use a constructor)", ErrBadOptions)
+	}
+	return d.finder, nil
 }
 
 // Stats summarizes a built index.
@@ -252,14 +309,31 @@ type PhaseStat struct {
 }
 
 // Index is a preprocessed shortest-path oracle.
+//
+// An Index is safe for arbitrary concurrent use: queries share immutable
+// preprocessed state, per-query scratch is pooled inside the engine, and
+// the lazily built auxiliary engines (Reachable's boolean engine, DistTo's
+// reverse engine, the pair oracle) are initialized exactly once under
+// sync.Once — concurrent first callers block until the one preprocessing
+// run finishes and then share its result. For admission control and
+// cross-request batching on top of an Index, see Server.
 type Index struct {
 	eng   *core.Engine
 	ex    *pram.Executor
 	alg   core.Algorithm
 	stats Stats
 
-	reachEng *reach.Engine // built lazily
-	revEng   *core.Engine  // built lazily (reverse-graph queries)
+	reachOnce sync.Once
+	reachEng  *reach.Engine // built lazily
+	reachErr  error
+
+	revOnce sync.Once
+	revEng  *core.Engine // built lazily (reverse-graph queries)
+	revErr  error
+
+	oracleOnce sync.Once
+	oracleErr  error
+	oracle     atomic.Pointer[Oracle] // set once BuildOracle succeeds; read by Dist
 }
 
 // Build preprocesses the graph. It consumes the Graph's current edge set;
@@ -375,9 +449,22 @@ func (ix *Index) SSSP(src int) []float64 {
 	return ix.eng.SSSP(src, nil)
 }
 
+// SSSPContext is SSSP with cooperative cancellation: ctx is polled between
+// Bellman-Ford phases, so a cancelled or expired context returns
+// (nil, ctx.Err()) within one phase of relaxation work.
+func (ix *Index) SSSPContext(ctx context.Context, src int) ([]float64, error) {
+	return ix.eng.SSSPContext(ctx, src, nil)
+}
+
 // Sources computes SSSP from many sources, parallelized over sources.
 func (ix *Index) Sources(srcs []int) [][]float64 {
 	return ix.eng.Sources(srcs, nil)
+}
+
+// SourcesContext is Sources with cooperative cancellation; all per-source
+// workers wind down within one phase of a cancellation.
+func (ix *Index) SourcesContext(ctx context.Context, srcs []int) ([][]float64, error) {
+	return ix.eng.SourcesContext(ctx, srcs, nil)
 }
 
 // SourcesBatched computes SSSP from many sources with one shared edge sweep
@@ -387,9 +474,21 @@ func (ix *Index) SourcesBatched(srcs []int) [][]float64 {
 	return ix.eng.SourcesBatched(srcs, nil)
 }
 
-// Dist returns the distance from u to v (one SSSP; batch queries should use
-// SSSP or Sources directly).
+// SourcesBatchedContext is SourcesBatched with cooperative cancellation
+// (ctx polled between the shared phase sweeps).
+func (ix *Index) SourcesBatchedContext(ctx context.Context, srcs []int) ([][]float64, error) {
+	return ix.eng.SourcesBatchedContext(ctx, srcs, nil)
+}
+
+// Dist returns the distance from u to v. When the pair oracle has been
+// built (BuildOracle), the answer costs O(n^μ) label-merge work; otherwise
+// Dist runs one full SSSP from u and discards all but one entry — callers
+// with many pair queries should either BuildOracle once or batch sources
+// through SSSP/Sources.
 func (ix *Index) Dist(u, v int) float64 {
+	if o := ix.oracle.Load(); o != nil {
+		return o.Dist(u, v)
+	}
 	return ix.eng.SSSP(u, nil)[v]
 }
 
@@ -413,14 +512,14 @@ func (ix *Index) Path(src, dst int) (path []int, w float64, ok bool) {
 
 // Reachable returns the set of vertices reachable from src, using the
 // boolean (transitive-closure) instantiation of the engine; the reach
-// preprocessing runs once on first use.
+// preprocessing runs exactly once on first use (concurrent first callers
+// block on the one run and share its result — or its error).
 func (ix *Index) Reachable(src int) ([]bool, error) {
-	if ix.reachEng == nil {
-		re, err := reach.NewEngine(ix.eng.Graph(), ix.eng.Tree(), ix.ex, nil)
-		if err != nil {
-			return nil, err
-		}
-		ix.reachEng = re
+	ix.reachOnce.Do(func() {
+		ix.reachEng, ix.reachErr = reach.NewEngine(ix.eng.Graph(), ix.eng.Tree(), ix.ex, nil)
+	})
+	if ix.reachErr != nil {
+		return nil, ix.reachErr
 	}
 	return ix.reachEng.From(src, nil), nil
 }
@@ -433,13 +532,24 @@ type Oracle struct {
 	o *oracle.Oracle
 }
 
-// BuildOracle preprocesses the pair-query oracle from the index.
+// BuildOracle preprocesses the pair-query oracle from the index. The
+// preprocessing runs exactly once per Index regardless of how many callers
+// race here — they all receive the same shared *Oracle (which is itself
+// safe for concurrent queries). Once built, the oracle also serves
+// Index.Dist.
 func (ix *Index) BuildOracle() (*Oracle, error) {
-	o, err := oracle.New(ix.eng, ix.ex, nil)
-	if err != nil {
-		return nil, err
+	ix.oracleOnce.Do(func() {
+		o, err := oracle.New(ix.eng, ix.ex, nil)
+		if err != nil {
+			ix.oracleErr = err
+			return
+		}
+		ix.oracle.Store(&Oracle{o: o})
+	})
+	if ix.oracleErr != nil {
+		return nil, ix.oracleErr
 	}
-	return &Oracle{o: o}, nil
+	return ix.oracle.Load(), nil
 }
 
 // Dist returns the exact distance from u to v.
@@ -454,18 +564,30 @@ func (o *Oracle) LabelEntries() int { return o.o.LabelSize() }
 // DistTo returns, for every vertex u, the distance FROM u TO dst. It runs
 // one query on the reversed graph; the decomposition tree is reused as-is
 // because it depends only on the undirected skeleton (paper comment (iv)),
-// which edge reversal preserves. The reverse engine is preprocessed once on
-// first use.
+// which edge reversal preserves. The reverse engine is preprocessed exactly
+// once on first use (concurrent first callers block on the one run).
 func (ix *Index) DistTo(dst int) ([]float64, error) {
-	if ix.revEng == nil {
-		eng, err := core.NewEngine(ix.eng.Graph().Reverse(), ix.eng.Tree(),
-			core.Config{Ex: ix.ex, Algorithm: ix.alg})
-		if err != nil {
-			return nil, err
-		}
-		ix.revEng = eng
+	if err := ix.reverseEngine(); err != nil {
+		return nil, err
 	}
 	return ix.revEng.SSSP(dst, nil), nil
+}
+
+// DistToContext is DistTo with cooperative cancellation of the reverse
+// query (the one-time reverse preprocessing is not interrupted).
+func (ix *Index) DistToContext(ctx context.Context, dst int) ([]float64, error) {
+	if err := ix.reverseEngine(); err != nil {
+		return nil, err
+	}
+	return ix.revEng.SSSPContext(ctx, dst, nil)
+}
+
+func (ix *Index) reverseEngine() error {
+	ix.revOnce.Do(func() {
+		ix.revEng, ix.revErr = core.NewEngine(ix.eng.Graph().Reverse(), ix.eng.Tree(),
+			core.Config{Ex: ix.ex, Algorithm: ix.alg})
+	})
+	return ix.revErr
 }
 
 // WithWeights builds a new Index for a graph with the same undirected
@@ -479,7 +601,7 @@ func (ix *Index) WithWeights(g *Graph) (*Index, error) {
 	oldSk := graph.NewSkeleton(ix.eng.Graph())
 	newSk := graph.NewSkeleton(dg)
 	if !oldSk.Equal(newSk) {
-		return nil, fmt.Errorf("sepsp: WithWeights requires the same undirected skeleton")
+		return nil, fmt.Errorf("%w: WithWeights requires the same undirected skeleton", ErrSkeletonMismatch)
 	}
 	eng, err := core.NewEngine(dg, ix.eng.Tree(), core.Config{Ex: ix.ex, Algorithm: ix.alg})
 	if err != nil {

@@ -1,0 +1,263 @@
+package sepsp
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"sepsp/internal/obs"
+)
+
+// ServerOptions configures a Server. The zero value (or nil) uses the
+// defaults noted on each field.
+type ServerOptions struct {
+	// MaxBatch caps the number of sources coalesced into one
+	// SourcesBatched wave (default 16). Larger waves amortize the shared
+	// per-phase edge sweep over more sources but cost k×n working memory.
+	MaxBatch int
+	// MaxInFlight caps the number of admitted requests queued or being
+	// served (default 1024). Requests beyond the cap are refused
+	// immediately with ErrServerOverloaded instead of growing the queue
+	// without bound.
+	MaxInFlight int
+	// Observer, when non-nil, receives the server's serving metrics in its
+	// registry: queue depth ("server.queue.depth" gauge), wave sizes
+	// ("server.wave.size" histogram), and admitted / refused / cancelled
+	// request and wave counters. It may be the same Observer the Index was
+	// built with.
+	Observer *Observer
+}
+
+// Server serves concurrent shortest-path requests on one shared Index,
+// coalescing requests that arrive while a wave is running into the next
+// multi-source SourcesBatched wave. This turns q concurrent single-source
+// queries from q independent edge sweeps into ⌈q/MaxBatch⌉ shared sweeps —
+// the serving-side counterpart of the engine's batched query path — while
+// MaxInFlight bounds the total work admitted at once (load shedding).
+//
+// All methods are safe for concurrent use. Requests carry a
+// context.Context: a request cancelled while queued is answered with
+// ctx.Err() and never joins a wave.
+type Server struct {
+	ix       *Index
+	maxBatch int
+	reqs     chan ssspReq
+
+	mu     sync.Mutex // guards closed and the send side of reqs
+	closed bool
+	wg     sync.WaitGroup
+
+	// Metric instruments; nil (no-op) without an Observer.
+	depth     *obs.Gauge
+	waveSize  *obs.Histogram
+	waves     *obs.Counter
+	requests  *obs.Counter
+	rejected  *obs.Counter
+	cancelled *obs.Counter
+}
+
+type ssspReq struct {
+	src  int
+	ctx  context.Context
+	resc chan ssspResp // buffered; the dispatcher never blocks on delivery
+}
+
+type ssspResp struct {
+	dist []float64
+	err  error
+}
+
+// NewServer starts a serving loop over ix. The caller should Close the
+// server when done to release its dispatcher goroutine.
+func NewServer(ix *Index, opt *ServerOptions) (*Server, error) {
+	s, err := newServer(ix, opt)
+	if err != nil {
+		return nil, err
+	}
+	s.wg.Add(1)
+	go s.run()
+	return s, nil
+}
+
+// newServer builds a Server without starting its dispatcher — split out so
+// tests can pre-queue requests and observe one deterministic wave.
+func newServer(ix *Index, opt *ServerOptions) (*Server, error) {
+	maxBatch, maxInFlight := 16, 1024
+	var reg *obs.Registry
+	if opt != nil {
+		if opt.MaxBatch < 0 || opt.MaxInFlight < 0 {
+			return nil, fmt.Errorf("%w: server limits must be non-negative", ErrBadOptions)
+		}
+		if opt.MaxBatch > 0 {
+			maxBatch = opt.MaxBatch
+		}
+		if opt.MaxInFlight > 0 {
+			maxInFlight = opt.MaxInFlight
+		}
+		if opt.Observer != nil {
+			reg = opt.Observer.sink.Metrics
+		}
+	}
+	s := &Server{
+		ix:        ix,
+		maxBatch:  maxBatch,
+		reqs:      make(chan ssspReq, maxInFlight),
+		depth:     reg.Gauge(obs.MServerQueueDepth),
+		waveSize:  reg.Histogram(obs.MServerWaveSize),
+		waves:     reg.Counter(obs.MServerWaves),
+		requests:  reg.Counter(obs.MServerRequests),
+		rejected:  reg.Counter(obs.MServerRejected),
+		cancelled: reg.Counter(obs.MServerCancelled),
+	}
+	return s, nil
+}
+
+// SSSP returns exact distances from src, like Index.SSSP, but through the
+// server's admission and batching path: the request may wait for the
+// in-progress wave and is then coalesced with other pending requests.
+// It returns ErrServerOverloaded when MaxInFlight requests are already
+// admitted, ErrServerClosed after Close, and ctx.Err() if ctx ends first.
+func (s *Server) SSSP(ctx context.Context, src int) ([]float64, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := s.checkVertex(src); err != nil {
+		return nil, err
+	}
+	r := ssspReq{src: src, ctx: ctx, resc: make(chan ssspResp, 1)}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, ErrServerClosed
+	}
+	select {
+	case s.reqs <- r:
+		s.requests.Inc()
+		s.depth.Set(float64(len(s.reqs)))
+		s.mu.Unlock()
+	default:
+		s.mu.Unlock()
+		s.rejected.Inc()
+		return nil, ErrServerOverloaded
+	}
+	select {
+	case resp := <-r.resc:
+		return resp.dist, resp.err
+	case <-ctx.Done():
+		// The request stays in the queue; the dispatcher sees the dead
+		// context and discards it without serving.
+		return nil, ctx.Err()
+	}
+}
+
+// Dist returns the u→v distance. When the index's pair oracle has been
+// built it answers directly from the hub labels (no queueing); otherwise
+// it runs one SSSP request through the batching path and picks out v.
+func (s *Server) Dist(ctx context.Context, u, v int) (float64, error) {
+	if err := s.checkVertex(v); err != nil {
+		return 0, err
+	}
+	if o := s.ix.oracle.Load(); o != nil {
+		if err := s.checkVertex(u); err != nil {
+			return 0, err
+		}
+		return o.Dist(u, v), nil
+	}
+	dist, err := s.SSSP(ctx, u)
+	if err != nil {
+		return 0, err
+	}
+	return dist[v], nil
+}
+
+// Close stops admitting requests, serves everything already queued, waits
+// for the dispatcher to finish, and returns. Safe to call multiple times.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if !s.closed {
+		s.closed = true
+		close(s.reqs)
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return nil
+}
+
+func (s *Server) checkVertex(v int) error {
+	if n := s.ix.eng.Graph().N(); v < 0 || v >= n {
+		return fmt.Errorf("%w: vertex %d out of range [0,%d)", ErrBadOptions, v, n)
+	}
+	return nil
+}
+
+// run is the dispatcher loop: block for one request, sweep up whatever
+// else is already queued (up to MaxBatch), serve the wave, repeat. Requests
+// arriving while a wave runs accumulate in the channel and form the next
+// wave — batching is adaptive: empty-queue latency is one solo query, and
+// under load waves grow toward MaxBatch.
+func (s *Server) run() {
+	defer s.wg.Done()
+	batch := make([]ssspReq, 0, s.maxBatch)
+	for {
+		r, ok := <-s.reqs
+		if !ok {
+			return
+		}
+		batch = s.gather(append(batch[:0], r))
+		s.depth.Set(float64(len(s.reqs)))
+		s.serveWave(batch)
+	}
+}
+
+// gather drains queued requests into batch, up to maxBatch. When the queue
+// runs dry it yields the processor a couple of times before sealing the
+// wave: on a single-P runtime the dispatcher always wins the race back to
+// the channel (channel handoff wakes it directly), so without the yield
+// concurrent clients would be served in solo waves and never coalesce. The
+// yields are no-ops when nothing else is runnable.
+func (s *Server) gather(batch []ssspReq) []ssspReq {
+	for yields := 0; len(batch) < s.maxBatch; {
+		select {
+		case r, ok := <-s.reqs:
+			if !ok {
+				return batch // closed: serve the tail, then exit the loop
+			}
+			batch = append(batch, r)
+		default:
+			if yields >= 2 {
+				return batch
+			}
+			yields++
+			runtime.Gosched()
+		}
+	}
+	return batch
+}
+
+// serveWave answers one coalesced batch: requests whose context already
+// ended get ctx.Err(), the rest share one SourcesBatched sweep.
+func (s *Server) serveWave(batch []ssspReq) {
+	live := batch[:0]
+	for _, r := range batch {
+		if err := r.ctx.Err(); err != nil {
+			r.resc <- ssspResp{err: err}
+			s.cancelled.Inc()
+			continue
+		}
+		live = append(live, r)
+	}
+	if len(live) == 0 {
+		return
+	}
+	srcs := make([]int, len(live))
+	for i, r := range live {
+		srcs[i] = r.src
+	}
+	rows := s.ix.SourcesBatched(srcs)
+	s.waves.Inc()
+	s.waveSize.Observe(float64(len(live)))
+	for i, r := range live {
+		r.resc <- ssspResp{dist: rows[i]}
+	}
+}

@@ -1,0 +1,278 @@
+package sepsp
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+
+	"sepsp/internal/obs"
+)
+
+func serverIndex(t testing.TB) (*Index, int) {
+	t.Helper()
+	g, grid := gridGraph(t, 10, 10, 42)
+	ix, err := Build(g, &Options{Decomposition: GridDecomposition(grid.Coord)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ix, grid.G.N()
+}
+
+// TestServerCoalescesWave pre-queues requests on a paused server and starts
+// the dispatcher: every pending request must be served by ONE multi-source
+// wave, with the wave metrics recording it — deterministic regardless of
+// scheduler interleaving or GOMAXPROCS.
+func TestServerCoalescesWave(t *testing.T) {
+	ix, _ := serverIndex(t)
+	ob := NewObserver()
+	srv, err := newServer(ix, &ServerOptions{MaxBatch: 8, Observer: ob})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const k = 5
+	reqs := make([]ssspReq, k)
+	for i := range reqs {
+		reqs[i] = ssspReq{src: i * 7, ctx: context.Background(), resc: make(chan ssspResp, 1)}
+		srv.reqs <- reqs[i]
+	}
+	srv.wg.Add(1)
+	go srv.run()
+	for i, r := range reqs {
+		resp := <-r.resc
+		if resp.err != nil {
+			t.Fatalf("request %d: %v", i, resp.err)
+		}
+		want := ix.SSSP(reqs[i].src)
+		for v := range want {
+			if !approxEq(resp.dist[v], want[v]) {
+				t.Fatalf("request %d: dist[%d] = %v want %v", i, v, resp.dist[v], want[v])
+			}
+		}
+	}
+	srv.Close()
+	if waves := ob.CounterValue(obs.MServerWaves); waves != 1 {
+		t.Fatalf("waves = %d, want 1 (all %d requests coalesced)", waves, k)
+	}
+	if count, sum, _ := ob.HistogramStats(obs.MServerWaveSize); count != 1 || sum != k {
+		t.Fatalf("wave size histogram: count=%d sum=%g, want one wave of %d", count, sum, k)
+	}
+	if got := ob.CounterValue(obs.MServerRequests); got != 0 {
+		// Requests were injected directly, bypassing admission: counter
+		// stays 0. (Guards against double counting inside the dispatcher.)
+		t.Fatalf("requests counter = %d, want 0 for injected requests", got)
+	}
+}
+
+// TestServerMaxBatchSplitsWaves checks a pre-queued backlog larger than
+// MaxBatch is split into ceil(k/MaxBatch) waves, none exceeding the cap.
+func TestServerMaxBatchSplitsWaves(t *testing.T) {
+	ix, _ := serverIndex(t)
+	ob := NewObserver()
+	srv, err := newServer(ix, &ServerOptions{MaxBatch: 4, Observer: ob})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const k = 10
+	reqs := make([]ssspReq, k)
+	for i := range reqs {
+		reqs[i] = ssspReq{src: i, ctx: context.Background(), resc: make(chan ssspResp, 1)}
+		srv.reqs <- reqs[i]
+	}
+	srv.wg.Add(1)
+	go srv.run()
+	for i, r := range reqs {
+		if resp := <-r.resc; resp.err != nil {
+			t.Fatalf("request %d: %v", i, resp.err)
+		}
+	}
+	srv.Close()
+	if waves := ob.CounterValue(obs.MServerWaves); waves != 3 {
+		t.Fatalf("waves = %d, want 3 (= ceil(10/4))", waves)
+	}
+	if count, sum, mean := ob.HistogramStats(obs.MServerWaveSize); sum != k || mean > 4 {
+		t.Fatalf("wave histogram count=%d sum=%g mean=%g, want sum=%d mean<=4", count, sum, mean, k)
+	}
+}
+
+// TestServerConcurrentClients runs a live server under concurrent clients
+// and verifies every answer; with the metrics registry attached, the
+// request counter must equal the served total and wave sizes must sum to it.
+func TestServerConcurrentClients(t *testing.T) {
+	ix, n := serverIndex(t)
+	ob := NewObserver()
+	srv, err := NewServer(ix, &ServerOptions{MaxBatch: 8, Observer: ob})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	want := make([][]float64, n)
+	for v := 0; v < n; v++ {
+		want[v] = ix.SSSP(v)
+	}
+	const clients, perClient = 8, 16
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < perClient; i++ {
+				src := (c*31 + i*17) % n
+				dist, err := srv.SSSP(context.Background(), src)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				for v := range dist {
+					if !approxEq(dist[v], want[src][v]) {
+						t.Errorf("SSSP(%d)[%d] = %v want %v", src, v, dist[v], want[src][v])
+						return
+					}
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	total := int64(clients * perClient)
+	if got := ob.CounterValue(obs.MServerRequests); got != total {
+		t.Fatalf("requests counter = %d, want %d", got, total)
+	}
+	if _, sum, _ := ob.HistogramStats(obs.MServerWaveSize); int64(sum) != total {
+		t.Fatalf("wave sizes sum to %g, want %d", sum, total)
+	}
+	if waves := ob.CounterValue(obs.MServerWaves); waves <= 0 || waves > total {
+		t.Fatalf("waves = %d, want in (0, %d]", waves, total)
+	}
+}
+
+// TestServerAdmissionLimit fills a paused server's queue to MaxInFlight and
+// checks the next request is refused with ErrServerOverloaded and counted.
+func TestServerAdmissionLimit(t *testing.T) {
+	ix, _ := serverIndex(t)
+	ob := NewObserver()
+	srv, err := newServer(ix, &ServerOptions{MaxBatch: 2, MaxInFlight: 3, Observer: ob})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Dispatcher not running: sends queue up to capacity.
+	reqs := make([]ssspReq, 3)
+	for i := range reqs {
+		reqs[i] = ssspReq{src: i, ctx: context.Background(), resc: make(chan ssspResp, 1)}
+		srv.reqs <- reqs[i]
+	}
+	if _, err := srv.SSSP(context.Background(), 0); !errors.Is(err, ErrServerOverloaded) {
+		t.Fatalf("overfull queue: err = %v, want ErrServerOverloaded", err)
+	}
+	if got := ob.CounterValue(obs.MServerRejected); got != 1 {
+		t.Fatalf("rejected counter = %d, want 1", got)
+	}
+	// Draining the queue restores admission.
+	srv.wg.Add(1)
+	go srv.run()
+	for _, r := range reqs {
+		<-r.resc
+	}
+	if _, err := srv.SSSP(context.Background(), 1); err != nil {
+		t.Fatalf("after drain: %v", err)
+	}
+	srv.Close()
+}
+
+// TestServerCancelledWhileQueued checks a request whose context dies before
+// its wave is answered with the context error, never served, and counted.
+func TestServerCancelledWhileQueued(t *testing.T) {
+	ix, _ := serverIndex(t)
+	ob := NewObserver()
+	srv, err := newServer(ix, &ServerOptions{MaxBatch: 4, Observer: ob})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	dead := ssspReq{src: 0, ctx: ctx, resc: make(chan ssspResp, 1)}
+	live := ssspReq{src: 1, ctx: context.Background(), resc: make(chan ssspResp, 1)}
+	srv.reqs <- dead
+	srv.reqs <- live
+	srv.wg.Add(1)
+	go srv.run()
+	if resp := <-dead.resc; !errors.Is(resp.err, context.Canceled) {
+		t.Fatalf("dead request: err = %v, want context.Canceled", resp.err)
+	}
+	if resp := <-live.resc; resp.err != nil {
+		t.Fatalf("live request: %v", resp.err)
+	}
+	srv.Close()
+	if got := ob.CounterValue(obs.MServerCancelled); got != 1 {
+		t.Fatalf("cancelled counter = %d, want 1", got)
+	}
+	if _, sum, _ := ob.HistogramStats(obs.MServerWaveSize); sum != 1 {
+		t.Fatalf("wave sizes sum to %g, want 1 (dead request must not join the wave)", sum)
+	}
+}
+
+// TestServerClosed checks Close semantics: pending requests drain, later
+// requests fail with ErrServerClosed, and double Close is fine.
+func TestServerClosed(t *testing.T) {
+	ix, _ := serverIndex(t)
+	srv, err := NewServer(ix, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.SSSP(context.Background(), 0); err != nil {
+		t.Fatal(err)
+	}
+	srv.Close()
+	if _, err := srv.SSSP(context.Background(), 0); !errors.Is(err, ErrServerClosed) {
+		t.Fatalf("after Close: err = %v, want ErrServerClosed", err)
+	}
+	srv.Close() // idempotent
+}
+
+// TestServerDist covers both Dist paths: via a batched SSSP wave, and via
+// the hub-label oracle once BuildOracle has run.
+func TestServerDist(t *testing.T) {
+	ix, n := serverIndex(t)
+	srv, err := NewServer(ix, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	u, v := 3, n-4
+	want := ix.SSSP(u)[v]
+	got, err := srv.Dist(context.Background(), u, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approxEq(got, want) {
+		t.Fatalf("Dist (wave path) = %v want %v", got, want)
+	}
+	if _, err := ix.BuildOracle(); err != nil {
+		t.Fatal(err)
+	}
+	got, err = srv.Dist(context.Background(), u, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approxEq(got, want) {
+		t.Fatalf("Dist (oracle path) = %v want %v", got, want)
+	}
+}
+
+// TestServerBadInput checks vertex validation and option validation.
+func TestServerBadInput(t *testing.T) {
+	ix, n := serverIndex(t)
+	if _, err := NewServer(ix, &ServerOptions{MaxBatch: -1}); !errors.Is(err, ErrBadOptions) {
+		t.Fatalf("negative MaxBatch: err = %v, want ErrBadOptions", err)
+	}
+	srv, err := NewServer(ix, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if _, err := srv.SSSP(context.Background(), n); !errors.Is(err, ErrBadOptions) {
+		t.Fatalf("out-of-range src: err = %v, want ErrBadOptions", err)
+	}
+	if _, err := srv.Dist(context.Background(), 0, -1); !errors.Is(err, ErrBadOptions) {
+		t.Fatalf("out-of-range dst: err = %v, want ErrBadOptions", err)
+	}
+}
