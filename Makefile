@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race check bench
+.PHONY: build test vet race chaos check bench
 
 build:
 	$(GO) build ./...
@@ -13,6 +13,14 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# chaos runs the deterministic fault-injection suite under the race
+# detector: panics, delays, and cancellations fire at every instrumented
+# boundary while concurrent clients assert each request still ends in a
+# correct answer or a typed error (see DESIGN.md "Failure model").
+chaos:
+	$(GO) test -race -run 'Chaos|Robust|ServerWavePanic|Fallback|Degraded|PanicSurfaces|UsableAfterPanic' -count=1 .
+	$(GO) test -race -run 'Panic|Inject' -count=1 ./internal/pram ./internal/faultinject
 
 # check is the tier-1 gate (see README): everything must pass before a
 # change lands.

@@ -61,6 +61,7 @@ func BenchmarkConstraints(b *testing.B)           { benchExperiment(b, "E-ineq")
 func BenchmarkIncrementalRepair(b *testing.B)     { benchExperiment(b, "E-incr") }
 func BenchmarkPairsOracle(b *testing.B)           { benchExperiment(b, "E-pairs") }
 func BenchmarkFinderAblation(b *testing.B)        { benchExperiment(b, "E-finders") }
+func BenchmarkServeWaves(b *testing.B)            { benchExperiment(b, "E-serve") }
 
 // Micro-benchmarks of the kernels (wall clock, allocations).
 

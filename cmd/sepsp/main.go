@@ -16,9 +16,15 @@
 //	tree                     render the separator decomposition tree
 //	stats                    preprocessing statistics and cost breakdowns
 //	serve [-clients C] [-requests R] [-maxbatch B] [-inflight F] [-seed S]
+//	      [-timeout D] [-chaos P] [-chaosseed S]
 //	                         drive a synthetic concurrent load through the
 //	                         batching Server and print throughput and wave
-//	                         coalescing statistics (load test)
+//	                         coalescing statistics (load test). -chaos P
+//	                         deterministically injects panics (P‰) and delays
+//	                         (2P‰) at every worker, phase, and wave boundary;
+//	                         the index is built with the baseline fallback so
+//	                         every request still ends in a correct answer or
+//	                         a typed error (chaos drill)
 //
 // Observability flags:
 //
@@ -43,6 +49,7 @@ import (
 	"syscall"
 
 	sepsp "sepsp"
+	"sepsp/internal/faultinject"
 	"sepsp/internal/graph"
 	"sepsp/internal/obs"
 )
@@ -76,6 +83,9 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		maxBatch    = fs.Int("maxbatch", 0, "serve: max sources per coalesced wave (0 = default)")
 		inFlight    = fs.Int("inflight", 0, "serve: max admitted requests (0 = default)")
 		seed        = fs.Int64("seed", 1, "serve: source-selection seed")
+		timeout     = fs.Duration("timeout", 0, "serve: queue deadline per request (0 = none)")
+		chaos       = fs.Int("chaos", 0, "serve: fault-injection panic permille (0 = off)")
+		chaosSeed   = fs.Int64("chaosseed", 1, "serve: fault-injection seed")
 	)
 	if err := fs.Parse(argv); err != nil {
 		return 2
@@ -119,6 +129,28 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	if *alg == 43 {
 		opt.Algorithm = sepsp.Simultaneous
 	}
+	cfg := serveConfig{
+		clients:   *clients,
+		requests:  *requests,
+		maxBatch:  *maxBatch,
+		inFlight:  *inFlight,
+		seed:      *seed,
+		timeout:   *timeout,
+		chaos:     *chaos,
+		chaosSeed: *chaosSeed,
+	}
+	var inj *faultinject.Seeded
+	if cmd == "serve" && cfg.chaos > 0 {
+		if cfg.chaos > 1000 {
+			return fail(fmt.Errorf("-chaos %d: rate is a permille, want 0..1000", cfg.chaos))
+		}
+		// A chaos drill injects faults into the build too, so the index is
+		// built with the exact-baseline fallback: a faulted build degrades
+		// instead of failing and the drill still measures serving behaviour.
+		inj = chaosInjector(cfg)
+		opt.Inject = inj
+		opt.Fallback = sepsp.FallbackBaseline
+	}
 	if *coordsPath != "" {
 		coords, err := readCoords(*coordsPath, dg.N())
 		if err != nil {
@@ -150,13 +182,7 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	w := bufio.NewWriter(stdout)
 	var code int
 	if cmd == "serve" {
-		code = runServe(w, ix, dg.N(), serveConfig{
-			clients:  *clients,
-			requests: *requests,
-			maxBatch: *maxBatch,
-			inFlight: *inFlight,
-			seed:     *seed,
-		}, ob, stderr)
+		code = runServe(w, ix, dg.N(), cfg, inj, ob, stderr)
 	} else {
 		code = runCommand(w, ix, dg, cmd, *src, *dst, *srcsFlag, *pairsFlag, stderr)
 	}

@@ -194,13 +194,51 @@ func TestServeCommand(t *testing.T) {
 	}
 	for _, want := range []string{
 		"serve: 32 requests, 4 clients\n",
-		"served=32 failed=0",
+		"served=32 faulted=0",
 		"waves=",
 		"throughput=",
 	} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("serve output missing %q:\n%s", want, out)
 		}
+	}
+	if strings.Contains(out, "chaos:") {
+		t.Fatalf("chaos summary printed without -chaos:\n%s", out)
+	}
+}
+
+// TestServeChaosCommand runs the serve fault drill: deterministic injection
+// with the baseline fallback armed, so the run exits 0 and prints the chaos
+// accounting lines.
+func TestServeChaosCommand(t *testing.T) {
+	out, errOut, code := runCLI(t,
+		"-graph", "testdata/grid6.txt", "-coords", "testdata/grid6.coords",
+		"serve", "-clients", "4", "-requests", "64", "-timeout", "250ms",
+		"-chaos", "15", "-chaosseed", "9")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut)
+	}
+	for _, want := range []string{
+		"serve: 64 requests, 4 clients\n",
+		"chaos: injected panics=",
+		"fallbackEngaged=",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("serve -chaos output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestServeChaosBadRate checks the permille bound on -chaos.
+func TestServeChaosBadRate(t *testing.T) {
+	_, errOut, code := runCLI(t,
+		"-graph", "testdata/grid6.txt", "-coords", "testdata/grid6.coords",
+		"serve", "-chaos", "1001")
+	if code == 0 {
+		t.Fatal("-chaos 1001 accepted")
+	}
+	if !strings.Contains(errOut, "permille") {
+		t.Fatalf("stderr missing permille diagnostic: %s", errOut)
 	}
 }
 

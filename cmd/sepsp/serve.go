@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -10,24 +11,47 @@ import (
 	"time"
 
 	sepsp "sepsp"
+	"sepsp/internal/faultinject"
 	"sepsp/internal/obs"
 )
 
 // serveConfig carries the serve subcommand's load-test parameters.
 type serveConfig struct {
-	clients  int   // concurrent client goroutines
-	requests int   // total SSSP requests issued across all clients
-	maxBatch int   // Server wave cap (0: default)
-	inFlight int   // Server admission cap (0: default)
-	seed     int64 // source-selection seed (deterministic load)
+	clients   int           // concurrent client goroutines
+	requests  int           // total SSSP requests issued across all clients
+	maxBatch  int           // Server wave cap (0: default)
+	inFlight  int           // Server admission cap (0: default)
+	seed      int64         // source-selection seed (deterministic load)
+	timeout   time.Duration // Server queue deadline (0: none)
+	chaos     int           // fault-injection panic/delay permille (0: off)
+	chaosSeed int64         // fault-injection seed
+}
+
+// chaosInjector builds the deterministic fault plan for `serve -chaos R`:
+// panics at rate R‰ and delays at rate 2R‰ on every instrumented boundary.
+func chaosInjector(cfg serveConfig) *faultinject.Seeded {
+	rate := uint32(cfg.chaos)
+	site := faultinject.SiteConfig{PanicPerMille: rate, DelayPerMille: 2 * rate}
+	return faultinject.NewSeeded(faultinject.Config{
+		Seed:  cfg.chaosSeed,
+		Delay: 200 * time.Microsecond,
+		Sites: map[string]faultinject.SiteConfig{
+			faultinject.SitePramWorker: site,
+			faultinject.SiteQueryPhase: site,
+			faultinject.SiteServerWave: site,
+		},
+	})
 }
 
 // runServe drives a synthetic concurrent load through a sepsp.Server on the
 // built index and prints a throughput and batching summary — the load-test
 // harness for the concurrent serving layer. Rejected requests
-// (ErrServerOverloaded) are retried after a short backoff so every request
-// is eventually served; the rejection count still shows in the summary.
-func runServe(w io.Writer, ix *sepsp.Index, n int, cfg serveConfig, ob *sepsp.Observer, stderr io.Writer) int {
+// (ErrServerOverloaded) are retried with jittered backoff (sepsp.Retry) so
+// every request is eventually decided; the rejection count still shows in
+// the summary. With chaos injection enabled (cfg.chaos > 0) requests may
+// additionally end in typed fault errors, which are tolerated and counted —
+// anything untyped fails the run.
+func runServe(w io.Writer, ix *sepsp.Index, n int, cfg serveConfig, inj *faultinject.Seeded, ob *sepsp.Observer, stderr io.Writer) int {
 	fail := func(err error) int {
 		fmt.Fprintln(stderr, "sepsp:", err)
 		return 1
@@ -38,16 +62,22 @@ func runServe(w io.Writer, ix *sepsp.Index, n int, cfg serveConfig, ob *sepsp.Ob
 	if cfg.requests <= 0 {
 		cfg.requests = 256
 	}
-	srv, err := sepsp.NewServer(ix, &sepsp.ServerOptions{
-		MaxBatch:    cfg.maxBatch,
-		MaxInFlight: cfg.inFlight,
-		Observer:    ob,
-	})
+	sopt := &sepsp.ServerOptions{
+		MaxBatch:     cfg.maxBatch,
+		MaxInFlight:  cfg.inFlight,
+		QueueTimeout: cfg.timeout,
+		Observer:     ob,
+	}
+	if inj != nil {
+		// Assigning a nil *Seeded would make the interface non-nil.
+		sopt.Inject = inj
+	}
+	srv, err := sepsp.NewServer(ix, sopt)
 	if err != nil {
 		return fail(err)
 	}
 
-	var served, failed atomic.Int64
+	var served, faulted atomic.Int64
 	var firstErr atomic.Value
 	start := time.Now()
 	var wg sync.WaitGroup
@@ -60,30 +90,28 @@ func runServe(w io.Writer, ix *sepsp.Index, n int, cfg serveConfig, ob *sepsp.Ob
 		go func(c, quota int) {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(cfg.seed + int64(c)))
+			retry := &sepsp.RetryOptions{Seed: cfg.seed + int64(c) + 1, BaseDelay: 50 * time.Microsecond}
 			for i := 0; i < quota; i++ {
 				src := rng.Intn(n)
-				for {
-					dist, err := srv.SSSP(nil, src)
-					if errors.Is(err, sepsp.ErrServerOverloaded) {
-						time.Sleep(50 * time.Microsecond)
-						continue
-					}
-					if err != nil || len(dist) != n {
-						if err == nil {
-							err = fmt.Errorf("serve: got %d distances, want %d", len(dist), n)
-						}
-						firstErr.CompareAndSwap(nil, err)
-						failed.Add(1)
-					} else {
-						served.Add(1)
-					}
-					break
+				dist, err := sepsp.RetryValue(context.Background(), retry, func() ([]float64, error) {
+					return srv.SSSP(context.Background(), src)
+				})
+				switch {
+				case err == nil && len(dist) == n:
+					served.Add(1)
+				case err == nil:
+					firstErr.CompareAndSwap(nil, fmt.Errorf("serve: got %d distances, want %d", len(dist), n))
+				case isTypedFault(err):
+					faulted.Add(1)
+				default:
+					firstErr.CompareAndSwap(nil, err)
 				}
 			}
 		}(c, quota)
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
+	health := srv.Healthz()
 	srv.Close()
 
 	if err, _ := firstErr.Load().(error); err != nil {
@@ -93,11 +121,30 @@ func runServe(w io.Writer, ix *sepsp.Index, n int, cfg serveConfig, ob *sepsp.Ob
 	waves := ob.CounterValue(obs.MServerWaves)
 	_, _, meanWave := ob.HistogramStats(obs.MServerWaveSize)
 	fmt.Fprintf(w, "serve: %d requests, %d clients\n", cfg.requests, cfg.clients)
-	fmt.Fprintf(w, "served=%d failed=%d rejected=%d cancelled=%d\n",
-		served.Load(), failed.Load(),
-		ob.CounterValue(obs.MServerRejected), ob.CounterValue(obs.MServerCancelled))
+	fmt.Fprintf(w, "served=%d faulted=%d rejected=%d cancelled=%d timedout=%d\n",
+		served.Load(), faulted.Load(), health.Rejected, health.Cancelled, health.TimedOut)
 	fmt.Fprintf(w, "waves=%d meanWave=%.2f\n", waves, meanWave)
 	fmt.Fprintf(w, "elapsed=%s throughput=%.0f req/s\n",
 		elapsed.Round(time.Millisecond), float64(served.Load())/elapsed.Seconds())
+	if cfg.chaos > 0 {
+		wp, wd, _ := inj.Fired(faultinject.SitePramWorker)
+		qp, qd, _ := inj.Fired(faultinject.SiteQueryPhase)
+		sp, sd, _ := inj.Fired(faultinject.SiteServerWave)
+		fmt.Fprintf(w, "chaos: injected panics=%d delays=%d recoveredPanics=%d degraded=%v\n",
+			wp+qp+sp, wd+qd+sd, health.Panics, health.Degraded)
+		fmt.Fprintf(w, "chaos: fallbackEngaged=%d fallbackQueries=%d\n",
+			ob.CounterValue(obs.MFallbackEngaged), ob.CounterValue(obs.MFallbackQueries))
+	}
 	return 0
+}
+
+// isTypedFault reports whether err is one of the serving stack's documented
+// failure-mode errors — acceptable outcomes under chaos injection.
+func isTypedFault(err error) bool {
+	var pe *sepsp.PanicError
+	return errors.As(err, &pe) ||
+		errors.Is(err, sepsp.ErrServerOverloaded) ||
+		errors.Is(err, sepsp.ErrQueueTimeout) ||
+		errors.Is(err, context.Canceled) ||
+		errors.Is(err, context.DeadlineExceeded)
 }

@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"sepsp/internal/augment"
+	"sepsp/internal/faultinject"
 	"sepsp/internal/graph"
 	"sepsp/internal/obs"
 	"sepsp/internal/pram"
@@ -39,6 +40,10 @@ type Config struct {
 	// for every query the engine answers (nil: fully disabled — queries
 	// take the uninstrumented path).
 	Obs *obs.Sink
+	// Inject, when non-nil, fires at every Bellman-Ford phase boundary
+	// (site faultinject.SiteQueryPhase) — the chaos-test hook. Production
+	// leaves it nil and pays one dead branch per phase.
+	Inject faultinject.Injector
 }
 
 // Engine is a preprocessed shortest-path oracle for one digraph and one
@@ -57,6 +62,7 @@ type Engine struct {
 	schedule *Schedule
 	ex       *pram.Executor
 	obs      *obs.Sink
+	inj      faultinject.Injector
 
 	wsPool sync.Pool // of *queryWS
 }
@@ -112,6 +118,7 @@ func NewEngine(g *graph.Digraph, tree *separator.Tree, cfg Config) (*Engine, err
 	}
 	eng := NewEngineFromParts(g, tree, res, ex)
 	eng.obs = cfg.Obs
+	eng.inj = cfg.Inject
 	return eng, nil
 }
 
@@ -151,6 +158,21 @@ func (e *Engine) Schedule() *Schedule { return e.schedule }
 // SetObs attaches an observability sink to an already-assembled engine (the
 // NewEngineFromParts path); nil detaches.
 func (e *Engine) SetObs(s *obs.Sink) { e.obs = s }
+
+// SetInject attaches a phase-boundary fault injector to an already-
+// assembled engine; nil detaches. Not safe to call concurrently with
+// queries — wire it before serving, like SetObs.
+func (e *Engine) SetInject(inj faultinject.Injector) { e.inj = inj }
+
+// Injector returns the attached phase-boundary fault injector (nil if none).
+func (e *Engine) Injector() faultinject.Injector { return e.inj }
+
+// firePhase triggers the injector at a phase boundary (nil: no-op).
+func (e *Engine) firePhase() {
+	if e.inj != nil {
+		e.inj.Fire(faultinject.SiteQueryPhase)
+	}
+}
 
 // DiameterBound returns Theorem 3.1's bound on diam(G+).
 func (e *Engine) DiameterBound() int { return augment.DiameterBound(e.tree) }
@@ -209,6 +231,7 @@ func (e *Engine) runSchedule(ctx context.Context, dist []float64, st *pram.Stats
 				return err
 			}
 		}
+		e.firePhase()
 		_, edges := e.schedule.PhaseAt(i)
 		for _, ed := range edges {
 			if du := dist[ed.From]; du+ed.W < dist[ed.To] {
@@ -236,6 +259,7 @@ func (e *Engine) runScheduleObserved(ctx context.Context, dist []float64, st *pr
 				return err
 			}
 		}
+		e.firePhase()
 		ph, edges := e.schedule.PhaseAt(i)
 		sp := e.obs.Span("query.phase", "query",
 			"index", ph.Index, "kind", string(ph.Kind), "level", ph.Level, "edges", len(edges))
@@ -333,6 +357,7 @@ func (e *Engine) SourcesBatchedContext(ctx context.Context, srcs []int, st *pram
 				return nil, err
 			}
 		}
+		e.firePhase()
 		_, edges := e.schedule.PhaseAt(i)
 		for _, ed := range edges {
 			from := dist[ed.From*k : ed.From*k+k]

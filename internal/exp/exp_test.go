@@ -88,8 +88,8 @@ func TestRegistryUnknownID(t *testing.T) {
 		t.Fatal("unknown id accepted")
 	}
 	ids := IDs()
-	if len(ids) != 19 {
-		t.Fatalf("expected 19 registered experiments, have %d: %v", len(ids), ids)
+	if len(ids) != 20 {
+		t.Fatalf("expected 20 registered experiments, have %d: %v", len(ids), ids)
 	}
 }
 

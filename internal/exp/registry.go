@@ -102,6 +102,10 @@ var registry = map[string]Runner{
 		t, err := FinderAblation(ex, scale)
 		return oneTable(t), err
 	},
+	"E-serve": func(ex *pram.Executor, scale int, _ *obs.Sink) (*Result, error) {
+		t, err := ServeExperiment(ex, scale)
+		return oneTable(t), err
+	},
 }
 
 func oneTable(t *Table) *Result {

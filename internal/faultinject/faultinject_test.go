@@ -1,0 +1,97 @@
+package faultinject
+
+import (
+	"testing"
+	"time"
+)
+
+func TestDeterministicPerSeed(t *testing.T) {
+	cfg := Config{Seed: 7, Sites: map[string]SiteConfig{
+		SitePramWorker: {PanicPerMille: 100, DelayPerMille: 200, CancelPerMille: 50},
+	}}
+	a, b := NewSeeded(cfg), NewSeeded(cfg)
+	for seq := uint64(1); seq <= 2000; seq++ {
+		if fa, fb := a.Decide(SitePramWorker, seq), b.Decide(SitePramWorker, seq); fa != fb {
+			t.Fatalf("seq %d: %v vs %v with equal seeds", seq, fa, fb)
+		}
+	}
+	// A different seed must produce a different schedule somewhere.
+	c := NewSeeded(Config{Seed: 8, Sites: cfg.Sites})
+	same := true
+	for seq := uint64(1); seq <= 2000; seq++ {
+		if a.Decide(SitePramWorker, seq) != c.Decide(SitePramWorker, seq) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("seeds 7 and 8 drew identical 2000-call schedules")
+	}
+}
+
+func TestRatesRoughlyHonored(t *testing.T) {
+	inj := NewSeeded(Config{Seed: 42, Sites: map[string]SiteConfig{
+		"x": {PanicPerMille: 100, DelayPerMille: 0, CancelPerMille: 100},
+	}})
+	n := 10000
+	var panics, cancels int
+	for i := 0; i < n; i++ {
+		switch inj.Decide("x", uint64(i+1)) {
+		case Panic:
+			panics++
+		case Cancel:
+			cancels++
+		case Delay:
+			t.Fatal("delay fired with zero delay rate")
+		}
+	}
+	for name, got := range map[string]int{"panic": panics, "cancel": cancels} {
+		if got < n/20 || got > n/5 { // 10% nominal; accept [5%, 20%]
+			t.Fatalf("%s fired %d/%d times, far from the configured 10%%", name, got, n)
+		}
+	}
+}
+
+func TestFirePanicsWithInjected(t *testing.T) {
+	inj := NewSeeded(Config{Seed: 1, Sites: map[string]SiteConfig{
+		"always": {PanicPerMille: 1000},
+	}})
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("no panic at a 100% panic site")
+		}
+		if !IsInjected(r) {
+			t.Fatalf("panic value %v is not *Injected", r)
+		}
+		if p, _, _ := inj.Fired("always"); p != 1 {
+			t.Fatalf("fired panic count = %d, want 1", p)
+		}
+	}()
+	inj.Fire("always")
+}
+
+func TestUnknownSiteIsNoop(t *testing.T) {
+	inj := NewSeeded(Config{Seed: 1})
+	if f := inj.Fire("nowhere"); f != None {
+		t.Fatalf("unknown site fired %v", f)
+	}
+	if inj.Calls("nowhere") != 0 {
+		t.Fatal("unknown site recorded calls")
+	}
+}
+
+func TestDelayFires(t *testing.T) {
+	inj := NewSeeded(Config{
+		Seed:  1,
+		Delay: time.Millisecond,
+		Sites: map[string]SiteConfig{"d": {DelayPerMille: 1000}},
+	})
+	start := time.Now()
+	if f := inj.Fire("d"); f != Delay {
+		t.Fatalf("fault = %v, want Delay", f)
+	}
+	if time.Since(start) < time.Millisecond {
+		t.Fatal("delay fault did not sleep")
+	}
+}

@@ -4,12 +4,18 @@
 // skeleton view consumed by separator finders, and basic traversals.
 //
 // Vertices are dense integers 0..n-1. Edge weights are float64; +Inf is the
-// canonical "no edge / unreachable" value (see Inf). Parallel edges are
-// permitted by the representation; most algorithms treat them as alternative
-// weights and only the minimum matters.
+// canonical "no edge / unreachable" value (see Inf), and a +Inf edge weight
+// is legal but inert (relaxing through it can never improve a distance).
+// NaN and -Inf weights are rejected — NaN silently poisons every distance
+// comparison it touches, and -Inf is a degenerate negative cycle —
+// FromEdges panics on them (like it does for out-of-range endpoints), and
+// Builder.CheckWeights reports them as an error for layers that validate
+// untrusted input. Parallel edges are permitted by the representation; most
+// algorithms treat them as alternative weights and only the minimum matters.
 package graph
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sort"
@@ -17,6 +23,18 @@ import (
 
 // Inf is the canonical "unreachable" distance.
 func Inf() float64 { return math.Inf(1) }
+
+// ErrBadWeight reports a NaN or -Inf edge weight.
+var ErrBadWeight = errors.New("graph: edge weight must not be NaN or -Inf")
+
+// CheckWeight validates one edge weight: NaN and -Inf are rejected, every
+// other float64 (including +Inf) is permitted.
+func CheckWeight(w float64) error {
+	if w != w || math.IsInf(w, -1) {
+		return fmt.Errorf("%w (got %v)", ErrBadWeight, w)
+	}
+	return nil
+}
 
 // Edge is a directed weighted edge.
 type Edge struct {
@@ -150,13 +168,32 @@ func (b *Builder) AddEdges(es []Edge) {
 	}
 }
 
+// CheckWeights reports the first NaN or -Inf edge weight accumulated so
+// far. Layers accepting untrusted input call this before Build to get a
+// typed error instead of FromEdges' panic.
+func (b *Builder) CheckWeights() error {
+	return CheckEdgeWeights(b.edges)
+}
+
+// CheckEdgeWeights validates every weight in an edge list (see CheckWeight).
+func CheckEdgeWeights(edges []Edge) error {
+	for _, e := range edges {
+		if err := CheckWeight(e.W); err != nil {
+			return fmt.Errorf("edge (%d,%d): %w", e.From, e.To, err)
+		}
+	}
+	return nil
+}
+
 // Build produces the immutable CSR digraph. The Builder may be reused
 // afterwards (further AddEdge calls affect only future Builds).
 func (b *Builder) Build() *Digraph {
 	return FromEdges(b.n, b.edges)
 }
 
-// FromEdges constructs a Digraph from an explicit edge list.
+// FromEdges constructs a Digraph from an explicit edge list. It panics on
+// out-of-range endpoints and on NaN/-Inf weights (see CheckWeight); callers
+// holding untrusted edges should validate with CheckEdgeWeights first.
 func FromEdges(n int, edges []Edge) *Digraph {
 	g := &Digraph{
 		n:       n,
@@ -170,6 +207,9 @@ func FromEdges(n int, edges []Edge) *Digraph {
 	for _, e := range edges {
 		if e.From < 0 || e.From >= n || e.To < 0 || e.To >= n {
 			panic(fmt.Sprintf("graph: edge (%d,%d) out of range [0,%d)", e.From, e.To, n))
+		}
+		if e.W != e.W || math.IsInf(e.W, -1) {
+			panic(fmt.Sprintf("graph: edge (%d,%d) has invalid weight %v", e.From, e.To, e.W))
 		}
 		g.outHead[e.From+1]++
 		g.inHead[e.To+1]++

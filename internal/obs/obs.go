@@ -105,6 +105,12 @@ const (
 	MServerRequests   = "server.requests"    // counter: admitted requests
 	MServerRejected   = "server.rejected"    // counter: requests refused at admission
 	MServerCancelled  = "server.cancelled"   // counter: requests cancelled before their wave
+	MServerTimedOut   = "server.timedout"    // counter: requests that exceeded QueueTimeout
+	MServerPanics     = "server.panics"      // counter: panics recovered by the dispatcher
+
+	// Graceful-degradation (baseline fallback) series.
+	MFallbackEngaged = "fallback.engaged" // counter: degradation causes observed
+	MFallbackQueries = "fallback.queries" // counter: queries served by the baseline engine
 )
 
 // LevelKey returns the canonical key of a per-tree-level metric series,

@@ -22,9 +22,13 @@
 package pram
 
 import (
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
+
+	"sepsp/internal/faultinject"
 )
 
 // Stats accumulates PRAM cost measures. All methods are safe for concurrent
@@ -74,13 +78,47 @@ func (s *Stats) Reset() {
 	}
 }
 
+// Panic is the typed value an Executor re-raises in the calling goroutine
+// when a worker goroutine panicked during a parallel loop: without the
+// in-worker recovery a single panicking iteration would kill the whole
+// process (a goroutine panic cannot be recovered from outside). The original
+// panic value and the panicking goroutine's stack are preserved so upper
+// layers can wrap them into their own typed errors.
+type Panic struct {
+	Value any    // the worker's original panic value
+	Stack []byte // stack of the panicking worker goroutine
+}
+
+func (p *Panic) Error() string {
+	return fmt.Sprintf("pram: worker panic: %v", p.Value)
+}
+
+// Unwrap exposes an error panic value to errors.Is/As chains.
+func (p *Panic) Unwrap() error {
+	if err, ok := p.Value.(error); ok {
+		return err
+	}
+	return nil
+}
+
 // Executor runs parallel-for loops on a bounded number of goroutines,
 // simulating a PRAM with P processors. Each worker slot keeps a busy-
 // iteration counter (one count per executed loop body), from which
 // LoadStats derives the load imbalance of everything run on the executor.
+//
+// Worker panics do not crash the process: each worker goroutine recovers,
+// the first captured panic is re-raised in the caller of For/ForChunked as
+// a *Panic (remaining workers of that round run to completion), and the
+// executor latches into a failed-but-queryable state — Failed/PanicCount/
+// LastPanic report the history while the executor itself stays fully
+// usable for subsequent rounds.
 type Executor struct {
 	p    int
 	busy []atomic.Int64 // busy[w]: iterations executed by worker slot w
+
+	inj       faultinject.Injector // nil in production: one dead branch
+	panics    atomic.Int64
+	lastPanic atomic.Pointer[Panic]
 }
 
 // NewExecutor returns an executor with p workers. p <= 0 selects
@@ -93,10 +131,65 @@ func NewExecutor(p int) *Executor {
 }
 
 // Sequential is a single-worker executor; loops run deterministically inline.
+// It is shared process-wide, so no injector may ever be set on it.
 var Sequential = NewExecutor(1)
 
 // P returns the number of workers.
 func (e *Executor) P() int { return e.p }
+
+// SetInjector installs a fault injector fired at every worker-chunk
+// boundary (site faultinject.SitePramWorker). Must be called before the
+// executor runs its first loop and never on the shared Sequential executor.
+func (e *Executor) SetInjector(inj faultinject.Injector) {
+	if e == Sequential {
+		panic("pram: cannot inject faults into the shared Sequential executor")
+	}
+	e.inj = inj
+}
+
+// Failed reports whether any worker panic has been recovered on this
+// executor. A failed executor remains fully usable — the latch is
+// observability, not a fuse.
+func (e *Executor) Failed() bool { return e.panics.Load() > 0 }
+
+// PanicCount returns the number of worker panics recovered so far.
+func (e *Executor) PanicCount() int64 { return e.panics.Load() }
+
+// LastPanic returns the most recently recovered worker panic (nil if none).
+func (e *Executor) LastPanic() *Panic { return e.lastPanic.Load() }
+
+// panicCell collects the first worker panic of one parallel round. Rounds
+// may run concurrently on a shared executor, so the cell is per-call state.
+type panicCell struct {
+	p atomic.Pointer[Panic]
+}
+
+// capture must be deferred inside a worker goroutine; it records the first
+// panic of the round (with the worker's stack) instead of letting the
+// runtime kill the process.
+func (c *panicCell) capture() {
+	if r := recover(); r != nil {
+		c.p.CompareAndSwap(nil, &Panic{Value: r, Stack: debug.Stack()})
+	}
+}
+
+// rethrow re-raises a captured panic in the calling goroutine, after
+// latching it on the executor. Callers recover it like an inline panic.
+func (c *panicCell) rethrow(e *Executor) {
+	if p := c.p.Load(); p != nil {
+		e.panics.Add(1)
+		e.lastPanic.Store(p)
+		panic(p)
+	}
+}
+
+// fire triggers the injector at the worker boundary; a nil injector is the
+// production fast path.
+func (e *Executor) fire() {
+	if e.inj != nil {
+		e.inj.Fire(faultinject.SitePramWorker)
+	}
+}
 
 // WorkerIters returns a copy of the per-worker busy-iteration counters
 // accumulated since construction (or the last ResetWorkerIters).
@@ -139,15 +232,20 @@ func (e *Executor) LoadStats() (max int64, mean float64, imbalance float64) {
 // be safe to call concurrently with distinct i; For provides a happens-before
 // edge between the loop body and its return (all writes made by fn are
 // visible to the caller afterwards).
+//
+// If fn panics, the remaining chunks still run to completion, the executor
+// latches the failure (Failed/LastPanic), and the first panic is re-raised
+// in the caller as a *Panic carrying the worker's stack — so a panicking
+// iteration can never take down goroutines the caller does not own.
 func (e *Executor) For(n int, fn func(i int)) {
 	if n <= 0 {
 		return
 	}
+	var pc panicCell
 	if e.p == 1 || n == 1 {
-		for i := 0; i < n; i++ {
-			fn(i)
-		}
+		e.forInline(n, fn, &pc)
 		e.busy[0].Add(int64(n))
+		pc.rethrow(e)
 		return
 	}
 	workers := e.p
@@ -168,6 +266,8 @@ func (e *Executor) For(n int, fn func(i int)) {
 		wg.Add(1)
 		go func(w, lo, hi int) {
 			defer wg.Done()
+			defer pc.capture()
+			e.fire()
 			for i := lo; i < hi; i++ {
 				fn(i)
 			}
@@ -175,19 +275,32 @@ func (e *Executor) For(n int, fn func(i int)) {
 		}(w, lo, hi)
 	}
 	wg.Wait()
+	pc.rethrow(e)
+}
+
+// forInline is the single-worker body of For, split out so the deferred
+// panic capture surrounds exactly one round.
+func (e *Executor) forInline(n int, fn func(i int), pc *panicCell) {
+	defer pc.capture()
+	e.fire()
+	for i := 0; i < n; i++ {
+		fn(i)
+	}
 }
 
 // ForChunked executes fn(lo, hi) over a partition of [0, n) into at most P
 // contiguous chunks, as one parallel round. It is the right primitive when
 // the body keeps per-chunk state (e.g. a local work counter flushed once per
-// chunk, to avoid per-iteration atomics).
+// chunk, to avoid per-iteration atomics). Panic containment matches For.
 func (e *Executor) ForChunked(n int, fn func(lo, hi int)) {
 	if n <= 0 {
 		return
 	}
+	var pc panicCell
 	if e.p == 1 {
-		fn(0, n)
+		e.forChunkedInline(n, fn, &pc)
 		e.busy[0].Add(int64(n))
+		pc.rethrow(e)
 		return
 	}
 	workers := e.p
@@ -208,11 +321,21 @@ func (e *Executor) ForChunked(n int, fn func(lo, hi int)) {
 		wg.Add(1)
 		go func(w, lo, hi int) {
 			defer wg.Done()
+			defer pc.capture()
+			e.fire()
 			fn(lo, hi)
 			e.busy[w].Add(int64(hi - lo))
 		}(w, lo, hi)
 	}
 	wg.Wait()
+	pc.rethrow(e)
+}
+
+// forChunkedInline is the single-worker body of ForChunked.
+func (e *Executor) forChunkedInline(n int, fn func(lo, hi int), pc *panicCell) {
+	defer pc.capture()
+	e.fire()
+	fn(0, n)
 }
 
 // Map applies fn to every index and collects results into a fresh slice, as

@@ -28,8 +28,12 @@ type indexDTO struct {
 const persistVersion = 1
 
 // Save serializes the index (graph + decomposition + E+) so a later Load
-// can answer queries without re-running the preprocessing.
+// can answer queries without re-running the preprocessing. A degraded index
+// has no decomposition to persist; Save fails with ErrDegraded.
 func (ix *Index) Save(w io.Writer) error {
+	if !ix.primary() {
+		return fmt.Errorf("%w: nothing to persist", ErrDegraded)
+	}
 	dto := indexDTO{
 		Version:   persistVersion,
 		N:         ix.eng.Graph().N(),
@@ -42,24 +46,95 @@ func (ix *Index) Save(w io.Writer) error {
 	return gob.NewEncoder(w).Encode(&dto)
 }
 
+// validate structurally checks a decoded blob BEFORE any of it is indexed
+// into, so a truncated or bit-flipped stream surfaces as ErrCorruptIndex
+// instead of an out-of-range panic deep inside reconstruction.
+func (dto *indexDTO) validate() error {
+	if dto.N < 0 {
+		return fmt.Errorf("negative vertex count %d", dto.N)
+	}
+	if dto.RawCount < 0 {
+		return fmt.Errorf("negative shortcut raw count %d", dto.RawCount)
+	}
+	if a := core.Algorithm(dto.Algorithm); a != core.Alg41 && a != core.Alg43 {
+		return fmt.Errorf("unknown algorithm tag %d", dto.Algorithm)
+	}
+	if err := validEdges("edge", dto.Edges, dto.N); err != nil {
+		return err
+	}
+	if err := validEdges("shortcut", dto.Shortcuts, dto.N); err != nil {
+		return err
+	}
+	nn := len(dto.Nodes)
+	for i := range dto.Nodes {
+		nd := &dto.Nodes[i]
+		if nd.ID != i {
+			return fmt.Errorf("node %d: ID %d does not match its position", i, nd.ID)
+		}
+		if nd.Parent < -1 || nd.Parent >= nn {
+			return fmt.Errorf("node %d: parent %d out of range [-1,%d)", i, nd.Parent, nn)
+		}
+		if nd.Level < 0 || nd.Level >= nn {
+			return fmt.Errorf("node %d: level %d out of range [0,%d)", i, nd.Level, nn)
+		}
+		// Children are either both the -1 leaf marker or both real nodes.
+		c0, c1 := nd.Children[0], nd.Children[1]
+		if c0 < 0 || c1 < 0 {
+			if c0 != -1 || c1 != -1 {
+				return fmt.Errorf("node %d: malformed leaf marker children (%d,%d)", i, c0, c1)
+			}
+		} else if c0 >= nn || c1 >= nn {
+			return fmt.Errorf("node %d: children (%d,%d) out of range [0,%d)", i, c0, c1, nn)
+		}
+		for _, vs := range [...][]int{nd.V, nd.S, nd.B} {
+			for _, v := range vs {
+				if v < 0 || v >= dto.N {
+					return fmt.Errorf("node %d: vertex %d out of range [0,%d)", i, v, dto.N)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func validEdges(kind string, edges []graph.Edge, n int) error {
+	for i, e := range edges {
+		if e.From < 0 || e.From >= n || e.To < 0 || e.To >= n {
+			return fmt.Errorf("%s %d: endpoints (%d,%d) out of range [0,%d)", kind, i, e.From, e.To, n)
+		}
+		if err := graph.CheckWeight(e.W); err != nil {
+			return fmt.Errorf("%s %d (%d→%d): %v", kind, i, e.From, e.To, err)
+		}
+	}
+	return nil
+}
+
 // Load reconstructs an Index previously written by Save. workers configures
 // the executor as in Options.Workers (0 = sequential, negative =
 // GOMAXPROCS).
+//
+// The blob is fully validated before use — a broken gob stream, an
+// unsupported version, out-of-range endpoints or vertex lists, invalid
+// weights, or a decomposition that does not cover the graph all return an
+// error wrapping ErrCorruptIndex rather than panicking.
 func Load(r io.Reader, workers int) (*Index, error) {
 	var dto indexDTO
 	if err := gob.NewDecoder(r).Decode(&dto); err != nil {
-		return nil, fmt.Errorf("sepsp: load: %w", err)
+		return nil, fmt.Errorf("%w: %v", ErrCorruptIndex, err)
 	}
 	if dto.Version != persistVersion {
-		return nil, fmt.Errorf("sepsp: load: unsupported version %d", dto.Version)
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrCorruptIndex, dto.Version)
+	}
+	if err := dto.validate(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorruptIndex, err)
 	}
 	g := graph.FromEdges(dto.N, dto.Edges)
 	tree, err := separator.FromNodes(dto.N, dto.Nodes)
 	if err != nil {
-		return nil, fmt.Errorf("sepsp: load: %w", err)
+		return nil, fmt.Errorf("%w: %v", ErrCorruptIndex, err)
 	}
 	if err := tree.Validate(graph.NewSkeleton(g)); err != nil {
-		return nil, fmt.Errorf("sepsp: load: corrupt decomposition: %w", err)
+		return nil, fmt.Errorf("%w: corrupt decomposition: %v", ErrCorruptIndex, err)
 	}
 	var ex *pram.Executor
 	if workers == 0 {
@@ -69,7 +144,7 @@ func Load(r io.Reader, workers int) (*Index, error) {
 	}
 	res := &augment.Result{Edges: dto.Shortcuts, RawCount: dto.RawCount}
 	eng := core.NewEngineFromParts(g, tree, res, ex)
-	ix := &Index{eng: eng, ex: ex, alg: core.Algorithm(dto.Algorithm)}
+	ix := &Index{eng: eng, g: g, ex: ex, alg: core.Algorithm(dto.Algorithm)}
 	ix.stats = Stats{
 		Shortcuts:     len(res.Edges),
 		TreeHeight:    tree.Height,

@@ -1,0 +1,108 @@
+package sepsp
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"time"
+)
+
+// RetryOptions tunes Retry. The zero value (or nil) uses the defaults noted
+// on each field.
+type RetryOptions struct {
+	// MaxAttempts is the total number of tries, including the first
+	// (default 4).
+	MaxAttempts int
+	// BaseDelay is the backoff cap before the first retry (default 5ms);
+	// the cap doubles per attempt up to MaxDelay (default 500ms), and the
+	// actual sleep is drawn uniformly from [0, cap) ("full jitter", which
+	// decorrelates competing clients so they do not re-stampede in sync).
+	BaseDelay time.Duration
+	MaxDelay  time.Duration
+	// Seed makes the jitter sequence deterministic when non-zero
+	// (reproducible tests); 0 seeds from the clock.
+	Seed int64
+	// Sleep replaces the backoff sleep (tests); nil sleeps on a timer,
+	// returning early with the context's cause if ctx ends first.
+	Sleep func(ctx context.Context, d time.Duration) error
+}
+
+// Retry runs op, retrying with jittered exponential backoff as long as op
+// fails with ErrServerOverloaded — the one Server error that explicitly
+// invites a retry. Any other result (success, ErrQueueTimeout, a
+// *PanicError, ErrServerClosed, the caller's context ending) is returned
+// immediately: retrying work the server admitted and then shed would add
+// load exactly when the server asked for less.
+//
+//	dist, err := sepsp.RetryValue(ctx, nil, func() ([]float64, error) {
+//		return srv.SSSP(ctx, src)
+//	})
+func Retry(ctx context.Context, opt *RetryOptions, op func() error) error {
+	attempts, base, max := 4, 5*time.Millisecond, 500*time.Millisecond
+	var seed int64
+	sleep := sleepContext
+	if opt != nil {
+		if opt.MaxAttempts > 0 {
+			attempts = opt.MaxAttempts
+		}
+		if opt.BaseDelay > 0 {
+			base = opt.BaseDelay
+		}
+		if opt.MaxDelay > 0 {
+			max = opt.MaxDelay
+		}
+		seed = opt.Seed
+		if opt.Sleep != nil {
+			sleep = opt.Sleep
+		}
+	}
+	if seed == 0 {
+		seed = time.Now().UnixNano()
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var err error
+	ceil := base
+	for attempt := 0; ; attempt++ {
+		if err = op(); !errors.Is(err, ErrServerOverloaded) {
+			return err
+		}
+		if attempt+1 >= attempts {
+			return err
+		}
+		d := time.Duration(rng.Int63n(int64(ceil) + 1))
+		if serr := sleep(ctx, d); serr != nil {
+			return serr
+		}
+		if ceil *= 2; ceil > max {
+			ceil = max
+		}
+	}
+}
+
+// RetryValue is Retry for value-returning operations (the common shape of
+// Server.SSSP and Server.Dist).
+func RetryValue[T any](ctx context.Context, opt *RetryOptions, op func() (T, error)) (T, error) {
+	var out T
+	err := Retry(ctx, opt, func() error {
+		var opErr error
+		out, opErr = op()
+		return opErr
+	})
+	return out, err
+}
+
+// sleepContext sleeps for d or until ctx ends, whichever comes first.
+func sleepContext(ctx context.Context, d time.Duration) error {
+	if ctx == nil {
+		time.Sleep(d)
+		return nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return context.Cause(ctx)
+	}
+}

@@ -43,6 +43,7 @@ import (
 
 	"sepsp/internal/augment"
 	"sepsp/internal/core"
+	"sepsp/internal/faultinject"
 	"sepsp/internal/graph"
 	"sepsp/internal/obs"
 	"sepsp/internal/oracle"
@@ -140,18 +141,40 @@ type Options struct {
 	// the build and for every query on the returned Index, and enables the
 	// per-level breakdown in Stats. Nil keeps the uninstrumented fast path.
 	Observer *Observer
+
+	// Fallback selects the graceful-degradation behavior: with
+	// FallbackBaseline, a decomposition-build failure, an invariant
+	// violation detected by the post-build self-check, or a recovered
+	// query panic routes queries to the exact baseline engine instead of
+	// failing (see FallbackPolicy). The default FallbackOff fails fast.
+	Fallback FallbackPolicy
+
+	// Inject, when non-nil, wires the deterministic fault-injection
+	// harness (internal/faultinject) into the executor's worker
+	// boundaries and the engine's phase boundaries. Chaos testing only;
+	// production leaves it nil and pays one dead branch per hook.
+	Inject faultinject.Injector
 }
 
 func (o *Options) executor() *pram.Executor {
 	if o == nil || o.Workers == 0 {
-		if o != nil && o.Observer != nil {
+		if o != nil && (o.Observer != nil || o.Inject != nil) {
 			// A private executor so the observer's load-balance gauges
-			// reflect this build only, not the shared Sequential pool.
-			return pram.NewExecutor(1)
+			// reflect this build only, not the shared Sequential pool —
+			// and so injected faults can never reach the shared pool.
+			ex := pram.NewExecutor(1)
+			if o.Inject != nil {
+				ex.SetInjector(o.Inject)
+			}
+			return ex
 		}
 		return pram.Sequential
 	}
-	return pram.NewExecutor(o.Workers)
+	ex := pram.NewExecutor(o.Workers)
+	if o.Inject != nil {
+		ex.SetInjector(o.Inject)
+	}
+	return ex
 }
 
 // Observer collects observability data — trace spans per preprocessing tree
@@ -273,6 +296,11 @@ type Stats struct {
 	QueryPhases int
 	QueryWork   int64
 
+	// Degraded reports that the index serves from the exact baseline
+	// fallback engine instead of the separator engine (see FallbackPolicy);
+	// the preprocessing-cost fields above are zero in that case.
+	Degraded bool
+
 	// PhaseBreakdown splits QueryPhases/QueryWork by position in the §3.2
 	// bitonic schedule (always populated; sums reproduce the totals).
 	PhaseBreakdown []PhaseStat
@@ -317,11 +345,23 @@ type PhaseStat struct {
 // sync.Once — concurrent first callers block until the one preprocessing
 // run finishes and then share its result. For admission control and
 // cross-request batching on top of an Index, see Server.
+//
+// Panics inside a query never escape as process crashes of goroutines the
+// caller does not own: the executor's workers recover and re-raise in the
+// querying goroutine, where error-returning methods convert them to a
+// *PanicError and, when Options.Fallback is FallbackBaseline, the query is
+// transparently re-answered by the exact baseline engine. The Index stays
+// fully usable for subsequent queries either way.
 type Index struct {
-	eng   *core.Engine
+	eng   *core.Engine   // nil when the decomposition failed and fallback engaged
+	g     *graph.Digraph // always non-nil
 	ex    *pram.Executor
 	alg   core.Algorithm
 	stats Stats
+	sink  *obs.Sink // observer sink, nil without an Observer
+
+	fb       *fallbackEngine // non-nil iff built with FallbackBaseline
+	degraded atomic.Bool     // latched: route every query to fb
 
 	reachOnce sync.Once
 	reachEng  *reach.Engine // built lazily
@@ -336,9 +376,36 @@ type Index struct {
 	oracle     atomic.Pointer[Oracle] // set once BuildOracle succeeds; read by Dist
 }
 
+// primary reports whether the separator engine serves queries (false once
+// the index has degraded to the baseline fallback).
+func (ix *Index) primary() bool { return ix.eng != nil && !ix.degraded.Load() }
+
+// Degraded reports whether the index is serving from the baseline fallback
+// engine instead of the separator engine — because the decomposition failed
+// to build or the post-build self-check found an invariant violation.
+// Transient per-query fallbacks (recovered panics) do not latch this.
+func (ix *Index) Degraded() bool { return !ix.primary() }
+
+// degrade latches the index into fallback serving and counts the cause.
+func (ix *Index) degrade() {
+	ix.fb.engage()
+	ix.degraded.Store(true)
+}
+
 // Build preprocesses the graph. It consumes the Graph's current edge set;
 // later AddEdge calls do not affect the returned Index.
+//
+// Edge weights must not be NaN or -Inf (ErrInvalidWeight); +Inf weights are
+// legal and equivalent to the edge being absent. With
+// Options.Fallback == FallbackBaseline, preprocessing failures other than
+// ErrBadOptions/ErrNegativeCycle/ErrInvalidWeight yield a degraded — exact
+// but decomposition-less — Index instead of an error, and the built index
+// is self-checked (separator balance, shortcut-count bound, verified SSSP
+// spot-check) before it is trusted.
 func Build(g *Graph, opt *Options) (*Index, error) {
+	if err := g.b.CheckWeights(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrInvalidWeight, err)
+	}
 	dg := g.b.Build()
 	finder, err := opt.finder()
 	if err != nil {
@@ -346,31 +413,74 @@ func Build(g *Graph, opt *Options) (*Index, error) {
 	}
 	leaf := 0
 	alg := core.Alg41
+	policy := FallbackOff
+	var inj faultinject.Injector
 	if opt != nil {
 		leaf = opt.LeafSize
 		if opt.Algorithm == Simultaneous {
 			alg = core.Alg43
 		}
+		policy = opt.Fallback
+		inj = opt.Inject
 	}
+	var sink *obs.Sink
+	if opt != nil && opt.Observer != nil {
+		sink = opt.Observer.sink
+	}
+	var fb *fallbackEngine
+	if policy == FallbackBaseline {
+		// Vet the graph for fallback service up front: a negative cycle
+		// makes distances undefined for every engine, so it stays an error.
+		if fb, err = newFallbackEngine(dg, sink); err != nil {
+			return nil, err
+		}
+	}
+	ex := opt.executor()
+	ix, err := buildPrimary(dg, finder, leaf, alg, ex, sink, inj)
+	if err != nil {
+		if fb == nil || errors.Is(err, ErrNegativeCycle) {
+			return nil, err
+		}
+		// Graceful degradation: no decomposition, but every query still
+		// gets an exact answer from the baseline engine.
+		fb.engage()
+		dix := &Index{g: dg, ex: ex, alg: alg, sink: sink, fb: fb}
+		dix.degraded.Store(true)
+		return dix, nil
+	}
+	ix.fb = fb
+	if fb != nil {
+		if cerr := ix.selfCheck(); cerr != nil {
+			ix.degrade()
+		}
+	}
+	return ix, nil
+}
+
+// buildPrimary runs the separator preprocessing with a panic guard: a panic
+// anywhere in decomposition or E+ construction surfaces as a *PanicError
+// instead of crashing the caller, so Build can degrade or report it.
+func buildPrimary(dg *graph.Digraph, finder separator.Finder, leaf int, alg core.Algorithm,
+	ex *pram.Executor, sink *obs.Sink, inj faultinject.Injector) (ix *Index, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			ix, err = nil, newPanicError("build", r)
+		}
+	}()
 	sk := graph.NewSkeleton(dg)
 	tree, err := separator.Build(sk, finder, separator.Options{LeafSize: leaf})
 	if err != nil {
 		return nil, err
 	}
-	ex := opt.executor()
-	var sink *obs.Sink
-	if opt != nil && opt.Observer != nil {
-		sink = opt.Observer.sink
-	}
 	prep := &pram.Stats{}
-	eng, err := core.NewEngine(dg, tree, core.Config{Ex: ex, Algorithm: alg, PrepStats: prep, Obs: sink})
+	eng, err := core.NewEngine(dg, tree, core.Config{Ex: ex, Algorithm: alg, PrepStats: prep, Obs: sink, Inject: inj})
 	if err != nil {
 		if errors.Is(err, augment.ErrNegativeCycle) {
 			return nil, fmt.Errorf("%w: %v", ErrNegativeCycle, err)
 		}
 		return nil, err
 	}
-	ix := &Index{eng: eng, ex: ex, alg: alg}
+	ix = &Index{eng: eng, g: dg, ex: ex, alg: alg, sink: sink}
 	ix.stats = Stats{
 		PrepWork:       prep.Work(),
 		PrepRounds:     prep.Rounds(),
@@ -393,6 +503,69 @@ func Build(g *Graph, opt *Options) (*Index, error) {
 		sink.Metrics.Gauge("exec.busy.mean").Set(mean)
 	}
 	return ix, nil
+}
+
+// selfCheck validates the built index against the paper's own invariants
+// before it is trusted to serve: separator progress/balance, the shortcut-
+// count bound (E+ pairs only connect separator vertices to vertices of
+// their node's subgraph, so |E+| ≤ 2·Σ_t |S(t)|·|V(t)|), and a verified
+// SSSP spot-check from sampled sources (Thm 4.1: E+ preserves distances and
+// caps shortest-path hop count at 4·d_G + 2ℓ + 1 — if either fails, the
+// scheduled Bellman-Ford returns wrong distances, which VerifyDistances
+// certifies against the original graph). Runs under a panic guard; any
+// violation or panic is returned as an error.
+func (ix *Index) selfCheck() (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = newPanicError("selfcheck", r)
+		}
+	}()
+	// The spot-check queries validate the decomposition, not the chaos
+	// harness: suspend phase-boundary injection so a deliberately injected
+	// query fault cannot masquerade as a build-time invariant violation.
+	if inj := ix.eng.Injector(); inj != nil {
+		ix.eng.SetInject(nil)
+		defer ix.eng.SetInject(inj)
+	}
+	tree := ix.eng.Tree()
+	var pairBound int64
+	for i := range tree.Nodes {
+		nd := &tree.Nodes[i]
+		pairBound += int64(len(nd.S)) * int64(len(nd.V))
+		if nd.IsLeaf() {
+			continue
+		}
+		for _, c := range nd.Children {
+			if c >= 0 && len(tree.Nodes[c].V) >= len(nd.V) {
+				return fmt.Errorf("sepsp: separator balance violated at node %d: child %d not smaller (%d ≥ %d)",
+					nd.ID, c, len(tree.Nodes[c].V), len(nd.V))
+			}
+		}
+	}
+	if sc := int64(len(ix.eng.Augmentation().Edges)); sc > 2*pairBound {
+		return fmt.Errorf("sepsp: shortcut count %d exceeds the structural bound %d", sc, 2*pairBound)
+	}
+	for _, src := range sampleSources(ix.g.N()) {
+		dist := ix.eng.SSSP(src, nil)
+		if verr := core.VerifyDistances(ix.g, src, dist, 1e-9); verr != nil {
+			return fmt.Errorf("sepsp: SSSP spot-check from source %d failed: %w", src, verr)
+		}
+	}
+	return nil
+}
+
+// sampleSources picks up to three deterministic, distinct spot-check
+// sources spread across the vertex range.
+func sampleSources(n int) []int {
+	switch {
+	case n <= 0:
+		return nil
+	case n == 1:
+		return []int{0}
+	case n == 2:
+		return []int{0, 1}
+	}
+	return []int{0, n / 2, n - 1}
 }
 
 // phaseBreakdown converts the schedule's static cost split into the public
@@ -426,12 +599,20 @@ func levelBreakdown(reg *obs.Registry, tree *separator.Tree) []LevelStat {
 }
 
 // Stats returns preprocessing and query cost summaries.
-func (ix *Index) Stats() Stats { return ix.stats }
+func (ix *Index) Stats() Stats {
+	st := ix.stats
+	st.Degraded = ix.Degraded()
+	return st
+}
 
 // RenderDecomposition pretty-prints the separator decomposition tree (one
 // node per line, indented by depth) preceded by a one-line summary — the
-// textual analogue of the paper's Figure 1.
+// textual analogue of the paper's Figure 1. A fully degraded index has no
+// decomposition; a one-line notice is rendered instead.
 func (ix *Index) RenderDecomposition() string {
+	if ix.eng == nil {
+		return "degraded: no separator decomposition (serving from baseline fallback)"
+	}
 	tree := ix.eng.Tree()
 	return tree.Summary() + "\n" + tree.Render(nil)
 }
@@ -440,30 +621,111 @@ func (ix *Index) RenderDecomposition() string {
 // indexed graph (see internal/core.VerifyDistances); useful when consuming
 // persisted or externally transported results.
 func (ix *Index) Verify(src int, dist []float64) error {
-	return core.VerifyDistances(ix.eng.Graph(), src, dist, 1e-9)
+	return core.VerifyDistances(ix.g, src, dist, 1e-9)
+}
+
+// fallbackFor classifies a primary-path error: a recovered panic with a
+// fallback engine available is absorbed (counted as an engagement, query
+// rerouted to the baseline); everything else propagates to the caller.
+func (ix *Index) fallbackFor(err error) bool {
+	var pe *PanicError
+	if ix.fb == nil || !errors.As(err, &pe) {
+		return false
+	}
+	ix.fb.engage()
+	return true
+}
+
+// recoverQuery is the shared recover policy of the value-returning query
+// guards: with a fallback engine the panic is counted and absorbed (the
+// caller reruns on the baseline); without one it re-raises as *PanicError
+// in the querying goroutine. Must be invoked deferred.
+func (ix *Index) recoverQuery(op string, ok *bool) {
+	r := recover()
+	if r == nil {
+		return
+	}
+	if ix.fb == nil {
+		panic(newPanicError(op, r))
+	}
+	ix.fb.engage()
+	*ok = false
 }
 
 // SSSP returns exact distances from src to every vertex (+Inf where
 // unreachable).
 func (ix *Index) SSSP(src int) []float64 {
-	return ix.eng.SSSP(src, nil)
+	if ix.primary() {
+		if dist, ok := ix.ssspGuard("sssp", src); ok {
+			return dist
+		}
+	}
+	return ix.fb.sssp(ix.fb.g, src)
+}
+
+func (ix *Index) ssspGuard(op string, src int) (dist []float64, ok bool) {
+	ok = true
+	defer ix.recoverQuery(op, &ok)
+	return ix.eng.SSSP(src, nil), ok
 }
 
 // SSSPContext is SSSP with cooperative cancellation: ctx is polled between
 // Bellman-Ford phases, so a cancelled or expired context returns
 // (nil, ctx.Err()) within one phase of relaxation work.
 func (ix *Index) SSSPContext(ctx context.Context, src int) ([]float64, error) {
+	if ix.primary() {
+		dist, err := ix.ssspCtxGuard(ctx, src)
+		if err == nil || !ix.fallbackFor(err) {
+			return dist, err
+		}
+	}
+	return ix.fb.ssspCtx(ctx, ix.fb.g, src)
+}
+
+func (ix *Index) ssspCtxGuard(ctx context.Context, src int) (dist []float64, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			dist, err = nil, newPanicError("sssp", r)
+		}
+	}()
 	return ix.eng.SSSPContext(ctx, src, nil)
 }
 
 // Sources computes SSSP from many sources, parallelized over sources.
 func (ix *Index) Sources(srcs []int) [][]float64 {
-	return ix.eng.Sources(srcs, nil)
+	if ix.primary() {
+		if rows, ok := ix.sourcesGuard(srcs); ok {
+			return rows
+		}
+	}
+	rows, _ := ix.fb.sources(nil, srcs)
+	return rows
+}
+
+func (ix *Index) sourcesGuard(srcs []int) (rows [][]float64, ok bool) {
+	ok = true
+	defer ix.recoverQuery("sources", &ok)
+	return ix.eng.Sources(srcs, nil), ok
 }
 
 // SourcesContext is Sources with cooperative cancellation; all per-source
 // workers wind down within one phase of a cancellation.
 func (ix *Index) SourcesContext(ctx context.Context, srcs []int) ([][]float64, error) {
+	if ix.primary() {
+		rows, err := ix.sourcesCtxGuard(ctx, srcs)
+		if err == nil || !ix.fallbackFor(err) {
+			return rows, err
+		}
+	}
+	return ix.fb.sources(ctx, srcs)
+}
+
+func (ix *Index) sourcesCtxGuard(ctx context.Context, srcs []int) (rows [][]float64, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			rows, err = nil, newPanicError("sources", r)
+		}
+	}()
 	return ix.eng.SourcesContext(ctx, srcs, nil)
 }
 
@@ -471,12 +733,39 @@ func (ix *Index) SourcesContext(ctx context.Context, srcs []int) ([][]float64, e
 // per phase (cache-friendly for moderate batch sizes); results equal
 // Sources.
 func (ix *Index) SourcesBatched(srcs []int) [][]float64 {
-	return ix.eng.SourcesBatched(srcs, nil)
+	if ix.primary() {
+		if rows, ok := ix.sourcesBatchedGuard(srcs); ok {
+			return rows
+		}
+	}
+	rows, _ := ix.fb.sources(nil, srcs)
+	return rows
+}
+
+func (ix *Index) sourcesBatchedGuard(srcs []int) (rows [][]float64, ok bool) {
+	ok = true
+	defer ix.recoverQuery("sources", &ok)
+	return ix.eng.SourcesBatched(srcs, nil), ok
 }
 
 // SourcesBatchedContext is SourcesBatched with cooperative cancellation
 // (ctx polled between the shared phase sweeps).
 func (ix *Index) SourcesBatchedContext(ctx context.Context, srcs []int) ([][]float64, error) {
+	if ix.primary() {
+		rows, err := ix.sourcesBatchedCtxGuard(ctx, srcs)
+		if err == nil || !ix.fallbackFor(err) {
+			return rows, err
+		}
+	}
+	return ix.fb.sources(ctx, srcs)
+}
+
+func (ix *Index) sourcesBatchedCtxGuard(ctx context.Context, srcs []int) (rows [][]float64, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			rows, err = nil, newPanicError("sources", r)
+		}
+	}()
 	return ix.eng.SourcesBatchedContext(ctx, srcs, nil)
 }
 
@@ -489,20 +778,37 @@ func (ix *Index) Dist(u, v int) float64 {
 	if o := ix.oracle.Load(); o != nil {
 		return o.Dist(u, v)
 	}
-	return ix.eng.SSSP(u, nil)[v]
+	if ix.primary() {
+		if dist, ok := ix.ssspGuard("dist", u); ok {
+			return dist[v]
+		}
+	}
+	return ix.fb.sssp(ix.fb.g, u)[v]
 }
 
 // SSSPTree returns distances plus a shortest-path tree in the original
 // graph: parent[v] is the predecessor of v on a minimum-weight src→v path
 // (parent[src] = src; -1 for unreachable vertices).
 func (ix *Index) SSSPTree(src int) (dist []float64, parent []int) {
-	return ix.eng.SSSPTree(src, nil)
+	if ix.primary() {
+		if d, p, ok := ix.ssspTreeGuard(src); ok {
+			return d, p
+		}
+	}
+	return ix.fb.ssspTree(src)
+}
+
+func (ix *Index) ssspTreeGuard(src int) (dist []float64, parent []int, ok bool) {
+	ok = true
+	defer ix.recoverQuery("sssptree", &ok)
+	dist, parent = ix.eng.SSSPTree(src, nil)
+	return dist, parent, ok
 }
 
 // Path returns a minimum-weight path from src to dst as a vertex sequence,
 // with its weight. ok is false when dst is unreachable.
 func (ix *Index) Path(src, dst int) (path []int, w float64, ok bool) {
-	dist, parent := ix.eng.SSSPTree(src, nil)
+	dist, parent := ix.SSSPTree(src)
 	p, ok := core.PathTo(parent, src, dst)
 	if !ok {
 		return nil, 0, false
@@ -515,6 +821,21 @@ func (ix *Index) Path(src, dst int) (path []int, w float64, ok bool) {
 // preprocessing runs exactly once on first use (concurrent first callers
 // block on the one run and share its result — or its error).
 func (ix *Index) Reachable(src int) ([]bool, error) {
+	if ix.primary() {
+		set, err := ix.reachGuard(src)
+		if err == nil || !ix.fallbackFor(err) {
+			return set, err
+		}
+	}
+	return ix.fb.reachable(src), nil
+}
+
+func (ix *Index) reachGuard(src int) (set []bool, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			set, err = nil, newPanicError("reachable", r)
+		}
+	}()
 	ix.reachOnce.Do(func() {
 		ix.reachEng, ix.reachErr = reach.NewEngine(ix.eng.Graph(), ix.eng.Tree(), ix.ex, nil)
 	})
@@ -537,7 +858,15 @@ type Oracle struct {
 // race here — they all receive the same shared *Oracle (which is itself
 // safe for concurrent queries). Once built, the oracle also serves
 // Index.Dist.
-func (ix *Index) BuildOracle() (*Oracle, error) {
+func (ix *Index) BuildOracle() (o *Oracle, err error) {
+	if !ix.primary() {
+		return nil, fmt.Errorf("%w: the pair oracle needs the separator index", ErrDegraded)
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			o, err = nil, newPanicError("oracle", r)
+		}
+	}()
 	ix.oracleOnce.Do(func() {
 		o, err := oracle.New(ix.eng, ix.ex, nil)
 		if err != nil {
@@ -567,17 +896,38 @@ func (o *Oracle) LabelEntries() int { return o.o.LabelSize() }
 // which edge reversal preserves. The reverse engine is preprocessed exactly
 // once on first use (concurrent first callers block on the one run).
 func (ix *Index) DistTo(dst int) ([]float64, error) {
-	if err := ix.reverseEngine(); err != nil {
-		return nil, err
+	if ix.primary() {
+		dist, err := ix.distToGuard(nil, dst)
+		if err == nil || !ix.fallbackFor(err) {
+			return dist, err
+		}
 	}
-	return ix.revEng.SSSP(dst, nil), nil
+	return ix.fb.distTo(nil, dst)
 }
 
 // DistToContext is DistTo with cooperative cancellation of the reverse
 // query (the one-time reverse preprocessing is not interrupted).
 func (ix *Index) DistToContext(ctx context.Context, dst int) ([]float64, error) {
+	if ix.primary() {
+		dist, err := ix.distToGuard(ctx, dst)
+		if err == nil || !ix.fallbackFor(err) {
+			return dist, err
+		}
+	}
+	return ix.fb.distTo(ctx, dst)
+}
+
+func (ix *Index) distToGuard(ctx context.Context, dst int) (dist []float64, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			dist, err = nil, newPanicError("distto", r)
+		}
+	}()
 	if err := ix.reverseEngine(); err != nil {
 		return nil, err
+	}
+	if ctx == nil {
+		return ix.revEng.SSSP(dst, nil), nil
 	}
 	return ix.revEng.SSSPContext(ctx, dst, nil)
 }
@@ -597,11 +947,24 @@ func (ix *Index) reverseEngine() error {
 // the weights and direction on edges". Only the E+ construction reruns.
 // Returns an error if g's skeleton differs from the indexed graph's.
 func (ix *Index) WithWeights(g *Graph) (*Index, error) {
+	if !ix.primary() {
+		return nil, fmt.Errorf("%w: WithWeights needs the separator decomposition", ErrDegraded)
+	}
+	if err := g.b.CheckWeights(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrInvalidWeight, err)
+	}
 	dg := g.b.Build()
 	oldSk := graph.NewSkeleton(ix.eng.Graph())
 	newSk := graph.NewSkeleton(dg)
 	if !oldSk.Equal(newSk) {
 		return nil, fmt.Errorf("%w: WithWeights requires the same undirected skeleton", ErrSkeletonMismatch)
+	}
+	var fb *fallbackEngine
+	if ix.fb != nil {
+		var err error
+		if fb, err = newFallbackEngine(dg, ix.sink); err != nil {
+			return nil, err
+		}
 	}
 	eng, err := core.NewEngine(dg, ix.eng.Tree(), core.Config{Ex: ix.ex, Algorithm: ix.alg})
 	if err != nil {
@@ -610,7 +973,7 @@ func (ix *Index) WithWeights(g *Graph) (*Index, error) {
 		}
 		return nil, err
 	}
-	out := &Index{eng: eng, ex: ix.ex, alg: ix.alg}
+	out := &Index{eng: eng, g: dg, ex: ix.ex, alg: ix.alg, sink: ix.sink, fb: fb}
 	tree := ix.eng.Tree()
 	out.stats = Stats{
 		Shortcuts:      len(eng.Augmentation().Edges),

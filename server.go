@@ -2,10 +2,14 @@ package sepsp
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
+	"time"
 
+	"sepsp/internal/faultinject"
 	"sepsp/internal/obs"
 )
 
@@ -21,12 +25,20 @@ type ServerOptions struct {
 	// immediately with ErrServerOverloaded instead of growing the queue
 	// without bound.
 	MaxInFlight int
+	// QueueTimeout bounds how long one admitted request may spend queued
+	// plus being served; a request that exceeds it is answered with
+	// ErrQueueTimeout (0 = no deadline). Per-request context deadlines
+	// compose with it — whichever ends first wins.
+	QueueTimeout time.Duration
 	// Observer, when non-nil, receives the server's serving metrics in its
 	// registry: queue depth ("server.queue.depth" gauge), wave sizes
-	// ("server.wave.size" histogram), and admitted / refused / cancelled
-	// request and wave counters. It may be the same Observer the Index was
-	// built with.
+	// ("server.wave.size" histogram), and admitted / refused / cancelled /
+	// timed-out request, wave, and recovered-panic counters. It may be the
+	// same Observer the Index was built with.
 	Observer *Observer
+	// Inject, when non-nil, fires the fault-injection harness at the
+	// server's wave boundary ("server.wave"). Chaos testing only.
+	Inject faultinject.Injector
 }
 
 // Server serves concurrent shortest-path requests on one shared Index,
@@ -38,15 +50,30 @@ type ServerOptions struct {
 //
 // All methods are safe for concurrent use. Requests carry a
 // context.Context: a request cancelled while queued is answered with
-// ctx.Err() and never joins a wave.
+// ctx.Err() and never joins a wave; a running wave is abandoned once every
+// request in it has gone away. A panic during a wave is recovered by the
+// dispatcher and answered as a *PanicError — the server and the shared
+// Index keep serving.
 type Server struct {
-	ix       *Index
-	maxBatch int
-	reqs     chan ssspReq
+	ix           *Index
+	maxBatch     int
+	maxInFlight  int
+	queueTimeout time.Duration
+	inj          faultinject.Injector
+	reqs         chan ssspReq
 
 	mu     sync.Mutex // guards closed and the send side of reqs
 	closed bool
 	wg     sync.WaitGroup
+
+	// Always-on counters backing Healthz (the obs instruments below are
+	// nil no-ops without an Observer).
+	nRequests  atomic.Int64
+	nRejected  atomic.Int64
+	nCancelled atomic.Int64
+	nTimedOut  atomic.Int64
+	nWaves     atomic.Int64
+	nPanics    atomic.Int64
 
 	// Metric instruments; nil (no-op) without an Observer.
 	depth     *obs.Gauge
@@ -55,6 +82,8 @@ type Server struct {
 	requests  *obs.Counter
 	rejected  *obs.Counter
 	cancelled *obs.Counter
+	timedout  *obs.Counter
+	panics    *obs.Counter
 }
 
 type ssspReq struct {
@@ -84,9 +113,11 @@ func NewServer(ix *Index, opt *ServerOptions) (*Server, error) {
 // tests can pre-queue requests and observe one deterministic wave.
 func newServer(ix *Index, opt *ServerOptions) (*Server, error) {
 	maxBatch, maxInFlight := 16, 1024
+	var queueTimeout time.Duration
+	var inj faultinject.Injector
 	var reg *obs.Registry
 	if opt != nil {
-		if opt.MaxBatch < 0 || opt.MaxInFlight < 0 {
+		if opt.MaxBatch < 0 || opt.MaxInFlight < 0 || opt.QueueTimeout < 0 {
 			return nil, fmt.Errorf("%w: server limits must be non-negative", ErrBadOptions)
 		}
 		if opt.MaxBatch > 0 {
@@ -95,20 +126,27 @@ func newServer(ix *Index, opt *ServerOptions) (*Server, error) {
 		if opt.MaxInFlight > 0 {
 			maxInFlight = opt.MaxInFlight
 		}
+		queueTimeout = opt.QueueTimeout
+		inj = opt.Inject
 		if opt.Observer != nil {
 			reg = opt.Observer.sink.Metrics
 		}
 	}
 	s := &Server{
-		ix:        ix,
-		maxBatch:  maxBatch,
-		reqs:      make(chan ssspReq, maxInFlight),
-		depth:     reg.Gauge(obs.MServerQueueDepth),
-		waveSize:  reg.Histogram(obs.MServerWaveSize),
-		waves:     reg.Counter(obs.MServerWaves),
-		requests:  reg.Counter(obs.MServerRequests),
-		rejected:  reg.Counter(obs.MServerRejected),
-		cancelled: reg.Counter(obs.MServerCancelled),
+		ix:           ix,
+		maxBatch:     maxBatch,
+		maxInFlight:  maxInFlight,
+		queueTimeout: queueTimeout,
+		inj:          inj,
+		reqs:         make(chan ssspReq, maxInFlight),
+		depth:        reg.Gauge(obs.MServerQueueDepth),
+		waveSize:     reg.Histogram(obs.MServerWaveSize),
+		waves:        reg.Counter(obs.MServerWaves),
+		requests:     reg.Counter(obs.MServerRequests),
+		rejected:     reg.Counter(obs.MServerRejected),
+		cancelled:    reg.Counter(obs.MServerCancelled),
+		timedout:     reg.Counter(obs.MServerTimedOut),
+		panics:       reg.Counter(obs.MServerPanics),
 	}
 	return s, nil
 }
@@ -117,13 +155,21 @@ func newServer(ix *Index, opt *ServerOptions) (*Server, error) {
 // server's admission and batching path: the request may wait for the
 // in-progress wave and is then coalesced with other pending requests.
 // It returns ErrServerOverloaded when MaxInFlight requests are already
-// admitted, ErrServerClosed after Close, and ctx.Err() if ctx ends first.
+// admitted (back off and retry — see Retry), ErrQueueTimeout when the
+// request outlived ServerOptions.QueueTimeout, ErrServerClosed after
+// Close, ctx.Err() if ctx ends first, and a *PanicError if the serving
+// wave panicked.
 func (s *Server) SSSP(ctx context.Context, src int) ([]float64, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
 	if err := s.checkVertex(src); err != nil {
 		return nil, err
+	}
+	if s.queueTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeoutCause(ctx, s.queueTimeout, ErrQueueTimeout)
+		defer cancel()
 	}
 	r := ssspReq{src: src, ctx: ctx, resc: make(chan ssspResp, 1)}
 	s.mu.Lock()
@@ -133,11 +179,13 @@ func (s *Server) SSSP(ctx context.Context, src int) ([]float64, error) {
 	}
 	select {
 	case s.reqs <- r:
+		s.nRequests.Add(1)
 		s.requests.Inc()
 		s.depth.Set(float64(len(s.reqs)))
 		s.mu.Unlock()
 	default:
 		s.mu.Unlock()
+		s.nRejected.Add(1)
 		s.rejected.Inc()
 		return nil, ErrServerOverloaded
 	}
@@ -146,8 +194,9 @@ func (s *Server) SSSP(ctx context.Context, src int) ([]float64, error) {
 		return resp.dist, resp.err
 	case <-ctx.Done():
 		// The request stays in the queue; the dispatcher sees the dead
-		// context and discards it without serving.
-		return nil, ctx.Err()
+		// context and discards (and counts) it without serving. Cause
+		// distinguishes ErrQueueTimeout from the caller's own ctx ending.
+		return nil, context.Cause(ctx)
 	}
 }
 
@@ -171,6 +220,55 @@ func (s *Server) Dist(ctx context.Context, u, v int) (float64, error) {
 	return dist[v], nil
 }
 
+// ServerHealth is a point-in-time snapshot of a Server's serving state, for
+// health endpoints and load-shedding decisions. Counters are cumulative
+// since NewServer.
+type ServerHealth struct {
+	// Closed reports whether Close has been called.
+	Closed bool
+	// Degraded reports whether the underlying Index serves from the
+	// baseline fallback engine (see Index.Degraded).
+	Degraded bool
+	// QueueDepth is the number of requests currently queued, and
+	// MaxInFlight/MaxBatch the configured limits.
+	QueueDepth  int
+	MaxInFlight int
+	MaxBatch    int
+	// Requests counts admitted requests; Rejected counts refusals with
+	// ErrServerOverloaded; Cancelled and TimedOut count admitted requests
+	// that ended with their context's cancellation or ErrQueueTimeout.
+	Requests  int64
+	Rejected  int64
+	Cancelled int64
+	TimedOut  int64
+	// Waves counts executed coalesced waves; Panics counts panics the
+	// dispatcher recovered.
+	Waves  int64
+	Panics int64
+}
+
+// Healthz returns a consistent-enough snapshot of the server's state; safe
+// to call concurrently with serving, at any time (including after Close).
+func (s *Server) Healthz() ServerHealth {
+	s.mu.Lock()
+	closed := s.closed
+	depth := len(s.reqs)
+	s.mu.Unlock()
+	return ServerHealth{
+		Closed:      closed,
+		Degraded:    s.ix.Degraded(),
+		QueueDepth:  depth,
+		MaxInFlight: s.maxInFlight,
+		MaxBatch:    s.maxBatch,
+		Requests:    s.nRequests.Load(),
+		Rejected:    s.nRejected.Load(),
+		Cancelled:   s.nCancelled.Load(),
+		TimedOut:    s.nTimedOut.Load(),
+		Waves:       s.nWaves.Load(),
+		Panics:      s.nPanics.Load(),
+	}
+}
+
 // Close stops admitting requests, serves everything already queued, waits
 // for the dispatcher to finish, and returns. Safe to call multiple times.
 func (s *Server) Close() error {
@@ -185,7 +283,7 @@ func (s *Server) Close() error {
 }
 
 func (s *Server) checkVertex(v int) error {
-	if n := s.ix.eng.Graph().N(); v < 0 || v >= n {
+	if n := s.ix.g.N(); v < 0 || v >= n {
 		return fmt.Errorf("%w: vertex %d out of range [0,%d)", ErrBadOptions, v, n)
 	}
 	return nil
@@ -236,13 +334,39 @@ func (s *Server) gather(batch []ssspReq) []ssspReq {
 }
 
 // serveWave answers one coalesced batch: requests whose context already
-// ended get ctx.Err(), the rest share one SourcesBatched sweep.
+// ended get their context's cause, the rest share one SourcesBatched sweep
+// under a merged context that lives as long as any member does. The whole
+// wave runs under a panic guard — a panic answers every member with a
+// *PanicError and the dispatcher moves on to the next wave.
 func (s *Server) serveWave(batch []ssspReq) {
+	defer func() {
+		if r := recover(); r != nil {
+			// Panics outside runWave's own guard (delivery bookkeeping).
+			// Answer anyone still waiting; non-blocking sends make the
+			// already-answered harmless.
+			s.nPanics.Add(1)
+			s.panics.Inc()
+			pe := newPanicError("serve", r)
+			for _, req := range batch {
+				select {
+				case req.resc <- ssspResp{err: pe}:
+				default:
+				}
+			}
+		}
+	}()
 	live := batch[:0]
 	for _, r := range batch {
-		if err := r.ctx.Err(); err != nil {
-			r.resc <- ssspResp{err: err}
-			s.cancelled.Inc()
+		if r.ctx.Err() != nil {
+			cause := context.Cause(r.ctx)
+			if errors.Is(cause, ErrQueueTimeout) {
+				s.nTimedOut.Add(1)
+				s.timedout.Inc()
+			} else {
+				s.nCancelled.Add(1)
+				s.cancelled.Inc()
+			}
+			r.resc <- ssspResp{err: cause}
 			continue
 		}
 		live = append(live, r)
@@ -254,10 +378,77 @@ func (s *Server) serveWave(batch []ssspReq) {
 	for i, r := range live {
 		srcs[i] = r.src
 	}
-	rows := s.ix.SourcesBatched(srcs)
+	ctx, release := waveContext(live)
+	rows, err := s.runWave(ctx, srcs)
+	release()
+	if err != nil {
+		var pe *PanicError
+		if errors.As(err, &pe) {
+			s.nPanics.Add(1)
+			s.panics.Inc()
+		}
+		for _, r := range live {
+			resp := ssspResp{err: err}
+			if cerr := r.ctx.Err(); cerr != nil && pe == nil {
+				// The wave was abandoned because every member went away;
+				// answer each with its own cause and count it once here.
+				resp.err = context.Cause(r.ctx)
+				if errors.Is(resp.err, ErrQueueTimeout) {
+					s.nTimedOut.Add(1)
+					s.timedout.Inc()
+				} else {
+					s.nCancelled.Add(1)
+					s.cancelled.Inc()
+				}
+			}
+			r.resc <- resp
+		}
+		return
+	}
+	s.nWaves.Add(1)
 	s.waves.Inc()
 	s.waveSize.Observe(float64(len(live)))
 	for i, r := range live {
 		r.resc <- ssspResp{dist: rows[i]}
+	}
+}
+
+// runWave executes one batched query under the dispatcher's panic guard:
+// an injected or organic panic comes back as a *PanicError instead of
+// killing the dispatcher (the Index's own FallbackPolicy, if any, has
+// already had its chance to absorb it).
+func (s *Server) runWave(ctx context.Context, srcs []int) (rows [][]float64, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			rows, err = nil, newPanicError("serve", r)
+		}
+	}()
+	if s.inj != nil {
+		s.inj.Fire(faultinject.SiteServerWave)
+	}
+	return s.ix.SourcesBatchedContext(ctx, srcs)
+}
+
+// waveContext returns a context that is cancelled once EVERY member's
+// context has ended — one abandoned request does not abort the shared wave,
+// but a wave nobody is waiting for stops within one phase. release must be
+// called when the wave finishes to detach from the member contexts.
+func waveContext(live []ssspReq) (context.Context, func()) {
+	ctx, cancel := context.WithCancel(context.Background())
+	remaining := new(atomic.Int64)
+	remaining.Store(int64(len(live)))
+	stops := make([]func() bool, 0, len(live))
+	for _, r := range live {
+		stops = append(stops, context.AfterFunc(r.ctx, func() {
+			if remaining.Add(-1) == 0 {
+				cancel()
+			}
+		}))
+	}
+	return ctx, func() {
+		for _, stop := range stops {
+			stop()
+		}
+		cancel()
 	}
 }
