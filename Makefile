@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race chaos check bench
+.PHONY: build test vet race chaos check bench bench-build bench-build-baseline
 
 build:
 	$(GO) build ./...
@@ -28,3 +28,16 @@ check: vet test race
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# bench-build runs the build-throughput experiment (E-build) and gates it
+# against the recorded baseline BENCH_build.json: counted work must match
+# the baseline exactly, build-path allocations must stay within tolerance,
+# and the blocked min-plus closure kernel must hold its speedup floor over
+# the naive reference on the current machine (see DESIGN.md "Build
+# performance"). bench-build-baseline re-records the baseline after an
+# intentional kernel change.
+bench-build:
+	$(GO) run ./cmd/benchtab -gate BENCH_build.json
+
+bench-build-baseline:
+	$(GO) run ./cmd/benchtab -exp E-build -json > BENCH_build.json

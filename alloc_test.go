@@ -37,6 +37,31 @@ func TestSSSPTreeSteadyStateAllocs(t *testing.T) {
 	}
 }
 
+// TestBuildAllocBudget pins the build path's allocation count: with the
+// matrix.Workspace arena recycling every per-node closure buffer and the
+// ping-pong ...Into kernels writing into preallocated destinations, a full
+// Build (graph conversion, separator tree, augmentation, engine setup) on a
+// fixed 16×16 grid stays within a budget of O(tree-nodes) small allocations
+// (~11.4k measured; budget leaves ~30% headroom for toolchain drift). A
+// per-product allocation regression in the min-plus layer shows up here as
+// an order-of-magnitude jump.
+func TestBuildAllocBudget(t *testing.T) {
+	const budget = 15000
+	g, grid := gridGraph(t, 16, 16, 9)
+	opt := &Options{Decomposition: GridDecomposition(grid.Coord)}
+	if _, err := Build(g, opt); err != nil {
+		t.Fatal(err)
+	}
+	avg := testing.AllocsPerRun(5, func() {
+		if _, err := Build(g, opt); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg > budget {
+		t.Fatalf("Build allocates %.0f objects per run, budget %d", avg, budget)
+	}
+}
+
 // TestSourcesBatchedSteadyStateAllocs bounds the batched wave: the k result
 // rows and their spine, with the k×n working buffer pooled.
 func TestSourcesBatchedSteadyStateAllocs(t *testing.T) {

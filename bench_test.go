@@ -21,6 +21,7 @@ import (
 	"sepsp/internal/oracle"
 	"sepsp/internal/pram"
 	"sepsp/internal/reach"
+	"sepsp/internal/separator"
 )
 
 // benchExperiment runs a registered experiment once per iteration and keeps
@@ -62,6 +63,7 @@ func BenchmarkIncrementalRepair(b *testing.B)     { benchExperiment(b, "E-incr")
 func BenchmarkPairsOracle(b *testing.B)           { benchExperiment(b, "E-pairs") }
 func BenchmarkFinderAblation(b *testing.B)        { benchExperiment(b, "E-finders") }
 func BenchmarkServeWaves(b *testing.B)            { benchExperiment(b, "E-serve") }
+func BenchmarkBuildThroughput(b *testing.B)       { benchExperiment(b, "E-build") }
 
 // Micro-benchmarks of the kernels (wall clock, allocations).
 
@@ -93,6 +95,29 @@ func BenchmarkPreprocessAlg43Grid4096(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkBuild* track the index-build path the cache-blocked min-plus
+// kernels feed (DESIGN.md "Build performance"): full Alg41/Alg43 runs,
+// sequential and parallel, with allocation counts — the wall-clock and
+// alloc figures that BENCH_build.json pins via `make bench-build`.
+
+func benchBuild(b *testing.B, alg func(*graph.Digraph, *separator.Tree, augment.Config) (*augment.Result, error), p int) {
+	b.Helper()
+	wl := benchWorkload(b, 0.5, 4096)
+	ex := pram.NewExecutor(p)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := alg(wl.G, wl.Tree, augment.Config{Ex: ex}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBuildAlg41Grid4096(b *testing.B)   { benchBuild(b, augment.Alg41, 1) }
+func BenchmarkBuildAlg41Grid4096P4(b *testing.B) { benchBuild(b, augment.Alg41, 4) }
+func BenchmarkBuildAlg43Grid4096(b *testing.B)   { benchBuild(b, augment.Alg43, 1) }
+func BenchmarkBuildAlg43Grid4096P4(b *testing.B) { benchBuild(b, augment.Alg43, 4) }
 
 func BenchmarkQueryScheduledGrid16384(b *testing.B) {
 	wl := benchWorkload(b, 0.5, 16384)

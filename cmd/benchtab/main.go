@@ -5,10 +5,14 @@
 // Usage:
 //
 //	benchtab [-exp id[,id...]] [-scale N] [-workers P] [-json]
-//	         [-trace out.json] [-metrics out.json]
+//	         [-gate baseline.json] [-trace out.json] [-metrics out.json]
 //
 // With no -exp flag, all experiments run in order. -json switches the
 // output to one JSON object per experiment (NDJSON), for scripting.
+// -gate re-runs the experiments recorded in an NDJSON baseline file (e.g.
+// BENCH_build.json, itself produced by -json) and exits non-zero if any
+// registered regression gate reports a violation — counted work drift,
+// allocation regressions, kernel speedups under their floors.
 // -trace and -metrics attach an observability sink to instrumentation-aware
 // experiments (T1-prep, T1-query, E-phases) and export what was collected.
 package main
@@ -19,6 +23,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strings"
 	"time"
 
@@ -48,6 +53,7 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		workers     = fs.Int("workers", -1, "worker goroutines (PRAM processors); -1 = GOMAXPROCS, 1 = sequential")
 		list        = fs.Bool("list", false, "list experiment ids and exit")
 		jsonOut     = fs.Bool("json", false, "emit one JSON object per experiment (NDJSON) instead of rendered tables")
+		gatePath    = fs.String("gate", "", "NDJSON baseline file (e.g. BENCH_build.json): re-run its experiments and fail on gate violations")
 		tracePath   = fs.String("trace", "", "write Chrome trace_event JSON collected across the run here")
 		metricsPath = fs.String("metrics", "", "write a metrics snapshot (JSON) collected across the run here")
 	)
@@ -63,6 +69,23 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	ids := exp.IDs()
 	if *expFlag != "" {
 		ids = strings.Split(*expFlag, ",")
+	}
+	var baseline map[string]*exp.Result
+	if *gatePath != "" {
+		var err error
+		baseline, err = loadBaseline(*gatePath)
+		if err != nil {
+			fmt.Fprintln(stderr, "benchtab:", err)
+			return 2
+		}
+		if *expFlag == "" {
+			// Gate exactly what the baseline recorded.
+			ids = ids[:0]
+			for id := range baseline {
+				ids = append(ids, id)
+			}
+			sort.Strings(ids)
+		}
 	}
 	var sink *obs.Sink
 	if *tracePath != "" || *metricsPath != "" {
@@ -82,6 +105,20 @@ func run(argv []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stderr, "experiment %s failed: %v\n", id, err)
 			ok = false
 			continue
+		}
+		if base, found := baseline[strings.TrimSpace(id)]; found {
+			viol, gated := exp.Gate(strings.TrimSpace(id), res, base)
+			switch {
+			case !gated:
+				fmt.Fprintf(stderr, "gate %s: no gate registered, skipped\n", id)
+			case len(viol) > 0:
+				for _, v := range viol {
+					fmt.Fprintf(stderr, "gate %s: FAIL %s\n", id, v)
+				}
+				ok = false
+			default:
+				fmt.Fprintf(stdout, "gate %s: ok\n", id)
+			}
 		}
 		if *jsonOut {
 			rec := experimentOutput{ID: strings.TrimSpace(id), Tables: res.Tables, Text: res.Text, Elapsed: elapsed.String()}
@@ -116,6 +153,34 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	return 0
+}
+
+// loadBaseline reads an NDJSON baseline file (one experimentOutput per
+// line, as written by -json) into per-experiment results.
+func loadBaseline(path string) (map[string]*exp.Result, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	out := make(map[string]*exp.Result)
+	dec := json.NewDecoder(f)
+	for {
+		var rec experimentOutput
+		if err := dec.Decode(&rec); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("baseline %s: %w", path, err)
+		}
+		if rec.ID == "" {
+			return nil, fmt.Errorf("baseline %s: record without experiment id", path)
+		}
+		out[rec.ID] = &exp.Result{Tables: rec.Tables, Text: rec.Text}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("baseline %s: no records", path)
+	}
+	return out, nil
 }
 
 func writeFile(path string, emit func(io.Writer) error) error {

@@ -37,6 +37,10 @@ func Alg41(g *graph.Digraph, t *separator.Tree, cfg Config) (*Result, error) {
 	collectors := make([]*collector, nn)
 	errs := make([]error, nn)
 	ex := cfg.ex()
+	// One workspace for the whole run: per-node matrices are drawn from it
+	// and consumed child matrices are released back after each level, so the
+	// run's slab allocations stay O(tree-nodes) instead of O(products).
+	ws := matrix.NewWorkspace()
 
 	for level := t.Height; level >= 0; level-- {
 		nodes := byLevel[level]
@@ -58,9 +62,9 @@ func Alg41(g *graph.Digraph, t *separator.Tree, cfg Config) (*Result, error) {
 					var rounds int64
 					var err error
 					if nd.IsLeaf() {
-						rounds, err = processLeaf41(g, nd, db, bIdx, c)
+						rounds, err = processLeaf41(g, nd, db, bIdx, c, ws)
 					} else {
-						rounds, err = processInternal41(nd, db, hsm, bIdx, c)
+						rounds, err = processInternal41(nd, db, hsm, bIdx, c, ws)
 					}
 					if err != nil {
 						errs[id] = err
@@ -84,9 +88,13 @@ func Alg41(g *graph.Digraph, t *separator.Tree, cfg Config) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		// Matrices of the level below have now been fully consumed.
+		// Matrices of the level below have now been fully consumed: release
+		// them to the workspace so this level's parents (and the levels
+		// above) reuse the slabs.
 		if level+1 <= t.Height {
 			for _, id := range byLevel[level+1] {
+				ws.Put(db[id])
+				ws.Put(hsm[id])
 				db[id] = nil
 				hsm[id] = nil
 			}
@@ -132,25 +140,29 @@ func collectNode41(nd *separator.Node, dbt *matrix.Dense, hs *matrix.Dense) *col
 
 // processLeaf41 computes the leaf's boundary-pair distances by a full
 // Floyd-Warshall on the O(1)-size leaf subgraph.
-func processLeaf41(g *graph.Digraph, nd *separator.Node, db []*matrix.Dense, bIdx []map[int]int, cfg Config) (int64, error) {
-	full, idx, err := leafClosure(g, nd, cfg)
+func processLeaf41(g *graph.Digraph, nd *separator.Node, db []*matrix.Dense, bIdx []map[int]int, cfg Config, ws *matrix.Workspace) (int64, error) {
+	full, idx, err := leafClosure(g, nd, cfg, ws)
 	if err != nil {
 		return 0, err
 	}
 	B := nd.B
-	d := matrix.New(len(B), len(B))
+	d := ws.Get(len(B), len(B))
 	for i, u := range B {
 		for j, v := range B {
 			d.Set(i, j, full.At(idx[u], idx[v]))
 		}
 	}
+	ws.Put(full)
 	db[nd.ID] = d
 	bIdx[nd.ID] = indexOf(B)
 	return int64(len(nd.V)), nil // FW phases on the leaf
 }
 
-// processInternal41 runs steps (i)-(v) of Algorithm 4.1 at one internal node.
-func processInternal41(nd *separator.Node, db, hsm []*matrix.Dense, bIdx []map[int]int, cfg Config) (int64, error) {
+// processInternal41 runs steps (i)-(v) of Algorithm 4.1 at one internal
+// node. Matrices that outlive the call (db, hsm entries) are drawn from ws
+// and released by the caller once consumed; intra-call temporaries go
+// straight back.
+func processInternal41(nd *separator.Node, db, hsm []*matrix.Dense, bIdx []map[int]int, cfg Config, ws *matrix.Workspace) (int64, error) {
 	c1, c2 := nd.Children[0], nd.Children[1]
 	db1, db2 := db[c1], db[c2]
 	idx1, idx2 := bIdx[c1], bIdx[c2]
@@ -161,8 +173,9 @@ func processInternal41(nd *separator.Node, db, hsm []*matrix.Dense, bIdx []map[i
 	inf := graph.Inf()
 
 	// Step (i): H_S with the min of the two child distances. Every s ∈ S(t)
-	// lies in B(t1) ∩ B(t2) by construction.
-	hs := matrix.New(len(S), len(S))
+	// lies in B(t1) ∩ B(t2) by construction. Every entry is assigned below,
+	// so uninitialized workspace scratch is fine.
+	hs := ws.Get(len(S), len(S))
 	for i, u := range S {
 		p1, ok1 := idx1[u]
 		p2, ok2 := idx2[u]
@@ -185,16 +198,18 @@ func processInternal41(nd *separator.Node, db, hsm []*matrix.Dense, bIdx []map[i
 	cfg.Stats.AddWork(int64(len(S)) * int64(len(S)))
 
 	// Step (ii): close H_S.
-	if err := closure(hs, cfg); err != nil {
+	if err := closure(hs, cfg, ws); err != nil {
+		ws.Put(hs)
 		return 0, fmt.Errorf("%w (separator graph of node %d)", ErrNegativeCycle, nd.ID)
 	}
 	rounds := closureRounds(len(S), cfg)
 
 	// Steps (iii)+(iv): 3-limited boundary-to-boundary distances through S,
-	// as (B×S) ⊗ closed(S×S) ⊗ (S×B).
+	// as (B×S) ⊗ closed(S×S) ⊗ (S×B). Both factor matrices are fully
+	// assigned below.
 	sIdx := indexOf(S)
-	wBS := matrix.New(len(B), len(S))
-	wSB := matrix.New(len(S), len(B))
+	wBS := ws.Get(len(B), len(S))
+	wSB := ws.Get(len(S), len(B))
 	for bi, b := range B {
 		if si, ok := sIdx[b]; ok {
 			// b is itself a separator vertex of this node: use the closed
@@ -224,12 +239,17 @@ func processInternal41(nd *separator.Node, db, hsm []*matrix.Dense, bIdx []map[i
 	cfg.Stats.AddWork(2 * int64(len(B)) * int64(len(S)))
 	var d3 *matrix.Dense
 	if len(S) > 0 && len(B) > 0 {
-		y := matrix.MulMinPlus(wBS, hs, cfg.ex(), cfg.Stats)
-		d3 = matrix.MulMinPlus(y, wSB, cfg.ex(), cfg.Stats)
+		y := ws.Get(len(B), len(S))
+		matrix.MulMinPlusInto(y, wBS, hs, cfg.ex(), cfg.Stats)
+		d3 = ws.Get(len(B), len(B))
+		matrix.MulMinPlusInto(d3, y, wSB, cfg.ex(), cfg.Stats)
+		ws.Put(y)
 		rounds += 2 * matrix.MulRounds(len(S))
 	} else {
-		d3 = matrix.New(len(B), len(B))
+		d3 = ws.GetInf(len(B), len(B))
 	}
+	ws.Put(wBS)
+	ws.Put(wSB)
 
 	// Step (v): combine with within-child boundary distances.
 	dbt := d3 // reuse the 3-limited matrix as the output

@@ -17,6 +17,10 @@ type node43 struct {
 	u    []int         // VH(t), sorted
 	uIdx map[int]int   // vertex -> position in u
 	d    *matrix.Dense // current weights w_t on VH(t) × VH(t)
+	// scratch is the ping-pong partner of d: each squaring iteration writes
+	// min(d, d⊗d) into it and swaps on change, so the whole run performs two
+	// matrix allocations per node instead of one per iteration.
+	scratch *matrix.Dense
 
 	// For each child: positions shared with this node, as parallel arrays
 	// (childPos[k] in the child's matrix corresponds to parPos[k] here).
@@ -43,6 +47,10 @@ func Alg43(g *graph.Digraph, t *separator.Tree, cfg Config) (*Result, error) {
 	nn := len(t.Nodes)
 	nodes := make([]*node43, nn)
 	errs := make([]error, nn)
+	// Workspace for leaf-closure scratch: the full |V(t)|×|V(t)| leaf matrices
+	// are restricted to VH(t) and released immediately, so concurrent leaves
+	// recycle a handful of slabs instead of allocating one each.
+	ws := matrix.NewWorkspace()
 
 	// Step (i): initialize every H(t) — in parallel, one round group.
 	err := cfg.attributed("prep.init",
@@ -60,7 +68,7 @@ func Alg43(g *graph.Digraph, t *separator.Tree, cfg Config) (*Result, error) {
 				st.uIdx = indexOf(st.u)
 				k := len(st.u)
 				if st.leaf {
-					full, idx, err := leafClosure(g, nd, c)
+					full, idx, err := leafClosure(g, nd, c, ws)
 					if err != nil {
 						errs[id] = err
 						return
@@ -71,6 +79,7 @@ func Alg43(g *graph.Digraph, t *separator.Tree, cfg Config) (*Result, error) {
 							st.d.Set(i, j, full.At(idx[a], idx[b]))
 						}
 					}
+					ws.Put(full)
 				} else {
 					st.d = matrix.NewSquare(k)
 					for i, a := range st.u {
@@ -82,6 +91,7 @@ func Alg43(g *graph.Digraph, t *separator.Tree, cfg Config) (*Result, error) {
 						})
 					}
 				}
+				st.scratch = matrix.New(k, k)
 				nodes[id] = st
 			})
 			for _, err := range errs {
@@ -134,7 +144,9 @@ func Alg43(g *graph.Digraph, t *separator.Tree, cfg Config) (*Result, error) {
 			[]any{"alg", 43, "iter", it},
 			func(c Config) error {
 				ex.For(nn, func(id int) {
-					if matrix.SquareStep(nodes[id].d, c.ex(), c.Stats) {
+					st := nodes[id]
+					if matrix.SquareStepInto(st.scratch, st.d, c.ex(), c.Stats) {
+						st.d, st.scratch = st.scratch, st.d
 						changed.Store(true)
 					}
 				})

@@ -148,10 +148,11 @@ func indexOf(vs []int) map[int]int {
 // (induced on V(t)) and returns the dense |V|×|V| closure along with the
 // local index map. Leaves are O(1)-sized, so Floyd-Warshall is used
 // regardless of mode; a negative diagonal reports a negative cycle confined
-// to the leaf.
-func leafClosure(g *graph.Digraph, nd *separator.Node, cfg Config) (*matrix.Dense, map[int]int, error) {
+// to the leaf. The returned matrix is ws-owned scratch: callers restrict it
+// to the entries they keep and Put it back.
+func leafClosure(g *graph.Digraph, nd *separator.Node, cfg Config, ws *matrix.Workspace) (*matrix.Dense, map[int]int, error) {
 	idx := indexOf(nd.V)
-	d := matrix.NewSquare(len(nd.V))
+	d := ws.GetSquare(len(nd.V))
 	for i, v := range nd.V {
 		g.Out(v, func(to int, w float64) bool {
 			if j, ok := idx[to]; ok {
@@ -161,17 +162,19 @@ func leafClosure(g *graph.Digraph, nd *separator.Node, cfg Config) (*matrix.Dens
 		})
 	}
 	if err := matrix.FloydWarshall(d, pram.Sequential, cfg.Stats); err != nil {
+		ws.Put(d)
 		return nil, nil, fmt.Errorf("%w (inside leaf node %d)", ErrNegativeCycle, nd.ID)
 	}
 	return d, idx, nil
 }
 
-// closure runs the configured all-pairs closure in place.
-func closure(d *matrix.Dense, cfg Config) error {
+// closure runs the configured all-pairs closure in place, drawing doubling
+// scratch from ws.
+func closure(d *matrix.Dense, cfg Config, ws *matrix.Workspace) error {
 	if cfg.UseFloydWarshall {
 		return matrix.FloydWarshall(d, cfg.ex(), cfg.Stats)
 	}
-	return matrix.Closure(d, cfg.ex(), cfg.Stats)
+	return matrix.ClosureWS(d, ws, cfg.ex(), cfg.Stats)
 }
 
 // closureRounds is the analytic PRAM round count of one closure on a k×k

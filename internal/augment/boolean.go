@@ -26,9 +26,13 @@ func Reach43(g *graph.Digraph, t *separator.Tree, cfg Config) (*Result, error) {
 	ex := cfg.ex()
 	nn := len(t.Nodes)
 	type bnode struct {
-		u        []int
-		uIdx     map[int]int
-		m        *bitmat.Matrix
+		u    []int
+		uIdx map[int]int
+		m    *bitmat.Matrix
+		// scratch ping-pongs with m across squaring iterations: the product
+		// lands in it, m is OR-merged in place, and the buffers swap — two
+		// matrix allocations per node for the whole run.
+		scratch  *bitmat.Matrix
 		childPos [2][]int32
 		parPos   [2][]int32
 		child    [2]int
@@ -75,6 +79,7 @@ func Reach43(g *graph.Digraph, t *separator.Tree, cfg Config) (*Result, error) {
 				})
 			}
 		}
+		st.scratch = bitmat.New(len(st.u))
 		nodes[id] = st
 	})
 	maxU := 1
@@ -106,12 +111,12 @@ func Reach43(g *graph.Digraph, t *separator.Tree, cfg Config) (*Result, error) {
 		var changed atomic.Bool
 		ex.For(nn, func(id int) {
 			st := nodes[id]
-			prod := bitmat.Mul(st.m, st.m, cfg.ex(), cfg.Stats)
-			prod.OrInPlace(st.m)
-			if !prod.Equal(st.m) {
+			bitmat.MulInto(st.scratch, st.m, st.m, cfg.ex(), cfg.Stats)
+			st.scratch.OrInPlace(st.m)
+			if !st.scratch.Equal(st.m) {
 				changed.Store(true)
 			}
-			st.m = prod
+			st.m, st.scratch = st.scratch, st.m
 		})
 		ex.For(nn, func(id int) {
 			st := nodes[id]

@@ -164,15 +164,15 @@ func processInternalReach41(nd *separator.Node, rb []*bitmat.Matrix, bIdx []map[
 	// steps (ii) and (iv) into one bounded closure on H, which computes the
 	// same U×U reachability.)
 	rounds := int64(0)
+	next := bitmat.New(k) // ping-pong partner of h, reused across iterations
 	for it := 0; it < ceilLog2(len(nd.S)+2)+2; it++ {
-		next := bitmat.Mul(h, h, cfg.ex(), cfg.Stats)
+		bitmat.MulInto(next, h, h, cfg.ex(), cfg.Stats)
 		next.OrInPlace(h)
 		rounds += int64(ceilLog2(k) + 1)
 		if next.Equal(h) {
-			h = next
 			break
 		}
-		h = next
+		h, next = next, h
 	}
 	rb[nd.ID] = h
 	bIdx[nd.ID] = uIdx

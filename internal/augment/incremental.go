@@ -92,11 +92,15 @@ func containsSorted(s []int, v int) bool {
 }
 
 // recompute rebuilds the matrices of the given nodes, deepest level first
-// (clean nodes keep their existing matrices and feed their parents).
+// (clean nodes keep their existing matrices and feed their parents). The
+// per-call workspace recycles kernel temporaries across the dirty set; the
+// recomputed db/hsm matrices it hands out are retained by the Incremental
+// and never released back, so reuse cannot corrupt live state.
 func (inc *Incremental) recompute(dirty map[int]bool) error {
 	if len(dirty) == 0 {
 		return nil
 	}
+	ws := matrix.NewWorkspace()
 	byLevel := nodesByLevel(inc.t)
 	for level := inc.t.Height; level >= 0; level-- {
 		for _, id := range byLevel[level] {
@@ -106,9 +110,9 @@ func (inc *Incremental) recompute(dirty map[int]bool) error {
 			nd := &inc.t.Nodes[id]
 			var err error
 			if nd.IsLeaf() {
-				_, err = processLeaf41(inc.g, nd, inc.db, inc.bIdx, inc.cfg)
+				_, err = processLeaf41(inc.g, nd, inc.db, inc.bIdx, inc.cfg, ws)
 			} else {
-				_, err = processInternal41(nd, inc.db, inc.hsm, inc.bIdx, inc.cfg)
+				_, err = processInternal41(nd, inc.db, inc.hsm, inc.bIdx, inc.cfg, ws)
 			}
 			if err != nil {
 				return err

@@ -110,55 +110,86 @@ func (m *Matrix) PopCount() int {
 	return c
 }
 
-// Mul computes the boolean product a*b into a fresh matrix, parallelized over
-// rows by ex (one parallel round of depth O(n/64) word-ops per row element).
-// Work counted into st: one unit per word OR performed.
+// Tile sizes of the blocked boolean kernel: a tile is tileRows result rows
+// by tileWords packed 64-column words (512 bytes of each touched row).
+const (
+	tileRows  = 128
+	tileWords = 64
+)
+
+// Mul computes the boolean product a*b into a fresh matrix. Hot paths should
+// prefer MulInto with a reused destination.
+func Mul(a, b *Matrix, ex *pram.Executor, st *pram.Stats) *Matrix {
+	out := New(a.n)
+	MulInto(out, a, b, ex, st)
+	return out
+}
+
+// MulInto computes the boolean product dst = a*b, parallelized over
+// word-packed tiles of the result (one parallel round of depth O(n/64)
+// word-ops per row element). dst must be n×n and must not alias a or b; its
+// prior contents are ignored. Work counted into st: one unit per word OR
+// performed — identical to the unblocked kernel, since every set bit of a
+// ORs the same total number of destination words across the column tiles.
 //
 // The inner loop uses the row-OR formulation: row i of the product is the OR
 // of rows k of b over all k with a[i][k] set, which is cache-friendly and
-// word-parallel.
-func Mul(a, b *Matrix, ex *pram.Executor, st *pram.Stats) *Matrix {
-	if a.n != b.n {
+// word-parallel; column tiling keeps the destination words of a row block
+// L1-resident while b's rows stream through.
+func MulInto(dst, a, b *Matrix, ex *pram.Executor, st *pram.Stats) {
+	if a.n != b.n || dst.n != a.n {
 		panic("bitmat: dimension mismatch")
 	}
+	if dst == a || dst == b {
+		panic("bitmat: MulInto destination aliases an operand")
+	}
 	n := a.n
-	out := New(n)
+	if n == 0 {
+		return
+	}
 	if ex == nil {
 		ex = pram.Sequential
 	}
-	ex.ForChunked(n, func(lo, hi int) {
+	ex.ForTiles2D(n, dst.words, tileRows, tileWords, func(r0, r1, w0, w1 int) {
 		var work int64
-		for i := lo; i < hi; i++ {
-			dst := out.Row(i)
+		for i := r0; i < r1; i++ {
+			drow := dst.bits[i*dst.words+w0 : i*dst.words+w1]
+			for x := range drow {
+				drow[x] = 0
+			}
 			arow := a.Row(i)
 			for wi, w := range arow {
 				for w != 0 {
 					k := wi*64 + bits.TrailingZeros64(w)
 					w &= w - 1
-					src := b.Row(k)
-					for x := range dst {
-						dst[x] |= src[x]
+					src := b.bits[k*b.words+w0 : k*b.words+w1]
+					for x, sw := range src {
+						drow[x] |= sw
 					}
-					work += int64(len(dst))
+					work += int64(len(drow))
 				}
 			}
 		}
 		st.AddWork(work)
 	})
-	return out
 }
 
 // Closure computes the reflexive-transitive closure (I + m)^n by repeated
-// squaring: O(log n) products. The receiver is not modified.
+// squaring: O(log n) products ping-ponged between two buffers (exactly two
+// matrix allocations regardless of the doubling count). The receiver is not
+// modified.
 func Closure(m *Matrix, ex *pram.Executor, st *pram.Stats) *Matrix {
 	c := m.Clone()
-	c.OrInPlace(Identity(m.n))
+	for i := 0; i < m.n; i++ {
+		c.Set(i, i, true)
+	}
+	scratch := New(m.n)
 	for span := 1; span < m.n; span *= 2 {
-		next := Mul(c, c, ex, st)
-		if next.Equal(c) {
-			return next
+		MulInto(scratch, c, c, ex, st)
+		if scratch.Equal(c) {
+			return c
 		}
-		c = next
+		c, scratch = scratch, c
 	}
 	return c
 }

@@ -1,0 +1,83 @@
+package bitmat
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"sepsp/internal/pram"
+)
+
+// TestMulIntoReuseAndDirtyDst: MulInto into a dirty, reused destination gives
+// exactly the fresh-Mul result, with identical counted work, across sizes
+// spanning the tile boundaries.
+func TestMulIntoReuseAndDirtyDst(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		sizes := []int{1, 63, 64, 65, tileRows, tileRows + 7, 300}
+		n := sizes[rng.Intn(len(sizes))]
+		a := randomMatrix(rng, n, 0.1)
+		b := randomMatrix(rng, n, 0.1)
+		dst := randomMatrix(rng, n, 0.5) // dirty prior contents must be ignored
+		stI, stM := &pram.Stats{}, &pram.Stats{}
+		MulInto(dst, a, b, pram.NewExecutor(3), stI)
+		want := Mul(a, b, pram.Sequential, stM)
+		return dst.Equal(want) && stI.Work() == stM.Work()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMulIntoDegenerate(t *testing.T) {
+	// n == 0 must be a no-op, not a panic.
+	MulInto(New(0), New(0), New(0), pram.Sequential, nil)
+	// Nil executor defaults to sequential.
+	a := Identity(5)
+	dst := New(5)
+	MulInto(dst, a, a, nil, nil)
+	if !dst.Equal(a) {
+		t.Fatal("identity product wrong with nil executor")
+	}
+}
+
+func TestMulIntoPanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	a := Identity(4)
+	mustPanic("dimension mismatch", func() { MulInto(New(3), a, a, nil, nil) })
+	mustPanic("aliasing", func() { MulInto(a, a, Identity(4), nil, nil) })
+}
+
+// TestClosurePingPongMatchesPowers: the two-buffer closure equals the naive
+// (I+m)^n fixpoint computed by repeated fresh-matrix multiplication.
+func TestClosurePingPongMatchesPowers(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(70)
+		m := randomMatrix(rng, n, 2.0/float64(n))
+		got := Closure(m, pram.Sequential, nil)
+		// Reference fixpoint: repeatedly square I+m with fresh matrices.
+		ref := m.Clone()
+		ref.OrInPlace(Identity(n))
+		for {
+			next := Mul(ref, ref, pram.Sequential, nil)
+			next.OrInPlace(ref)
+			if next.Equal(ref) {
+				break
+			}
+			ref = next
+		}
+		return got.Equal(ref)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -106,6 +106,26 @@ var registry = map[string]Runner{
 		t, err := ServeExperiment(ex, scale)
 		return oneTable(t), err
 	},
+	"E-build": func(ex *pram.Executor, scale int, _ *obs.Sink) (*Result, error) {
+		return BuildExperiment(ex, scale)
+	},
+}
+
+// gates maps experiment ids to regression gates: a gate compares the
+// machine-portable invariants of a fresh result against a recorded baseline
+// (cmd/benchtab -gate) and returns the violations.
+var gates = map[string]func(curr, base *Result) []string{
+	"E-build": GateBuild,
+}
+
+// Gate compares a fresh result for id against a recorded baseline. The
+// second return is false when no gate is registered for id.
+func Gate(id string, curr, base *Result) ([]string, bool) {
+	g, ok := gates[id]
+	if !ok {
+		return nil, false
+	}
+	return g(curr, base), true
 }
 
 func oneTable(t *Table) *Result {

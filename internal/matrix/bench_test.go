@@ -1,0 +1,80 @@
+package matrix
+
+import (
+	"math/rand"
+	"testing"
+
+	"sepsp/internal/pram"
+)
+
+// benchMatrix builds a deterministic n×n min-plus matrix with ~30% finite
+// entries — dense enough that the closure runs its full doubling schedule,
+// sparse enough that the +Inf panel skipping matters.
+func benchMatrix(n int) *Dense {
+	rng := rand.New(rand.NewSource(42))
+	return randomSquare(rng, n, 0.3, 0.1, 10)
+}
+
+func benchMul(b *testing.B, n int, tiled bool) {
+	a := benchMatrix(n)
+	c := benchMatrix(n)
+	dst := New(n, n)
+	b.SetBytes(int64(n * n * 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if tiled {
+			MulMinPlusInto(dst, a, c, pram.Sequential, nil)
+		} else {
+			dst = MulMinPlusNaive(a, c, pram.Sequential, nil)
+		}
+	}
+	sink = dst.A[0]
+}
+
+var sink float64
+
+func BenchmarkMulMinPlus256(b *testing.B)      { benchMul(b, 256, true) }
+func BenchmarkMulMinPlus256Naive(b *testing.B) { benchMul(b, 256, false) }
+
+func benchClosure(b *testing.B, n int, tiled bool) {
+	src := benchMatrix(n)
+	d := New(n, n)
+	ws := NewWorkspace()
+	b.SetBytes(int64(n * n * 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(d.A, src.A)
+		d.R, d.C = n, n
+		var err error
+		if tiled {
+			err = ClosureWS(d, ws, pram.Sequential, nil)
+		} else {
+			err = ClosureNaive(d, pram.Sequential, nil)
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	sink = d.A[0]
+}
+
+// BenchmarkClosure256 vs BenchmarkClosure256Naive is the kernel-level
+// speedup target of the build-performance work (see DESIGN.md): the tiled
+// ping-pong closure must run ≥2x faster single-threaded than the naive
+// row-parallel closure on a 256×256 matrix.
+func BenchmarkClosure256(b *testing.B)      { benchClosure(b, 256, true) }
+func BenchmarkClosure256Naive(b *testing.B) { benchClosure(b, 256, false) }
+
+func BenchmarkClosure512(b *testing.B)      { benchClosure(b, 512, true) }
+func BenchmarkClosure512Naive(b *testing.B) { benchClosure(b, 512, false) }
+
+func BenchmarkSquareStepInto256(b *testing.B) {
+	d := benchMatrix(256)
+	dst := New(256, 256)
+	b.SetBytes(256 * 256 * 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SquareStepInto(dst, d, pram.Sequential, nil)
+	}
+	sink = dst.A[0]
+}

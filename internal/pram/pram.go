@@ -338,6 +338,88 @@ func (e *Executor) forChunkedInline(n int, fn func(lo, hi int), pc *panicCell) {
 	fn(0, n)
 }
 
+// ForTiles2D executes fn(r0, r1, c0, c1) over the tiling of the rows×cols
+// iteration space into tileR×tileC tiles, as one parallel round. It is the
+// scheduling primitive for cache-blocked matrix kernels: each tile is one
+// task, tasks are handed to at most P workers from a shared atomic cursor
+// (dynamic assignment, so tiles whose cost collapses — e.g. all-+Inf panels
+// skipped by the kernel — do not leave workers idle), and a kernel whose
+// matrix fits in a single tile runs inline with no goroutine at all. That
+// last property is what lets intra-kernel tile parallelism compose with
+// node-level parallelism across a separator-tree level: the many small
+// kernels at deep levels each occupy exactly the worker already running
+// their node, while the few large kernels near the root fan out across the
+// executor instead of serializing behind per-row chunking.
+//
+// fn must be safe to call concurrently for distinct tiles (tiles are
+// disjoint by construction). Panic containment matches For: the first
+// panicking tile is re-raised in the caller as a *Panic, the panicking
+// worker stops, and the remaining workers drain the remaining tiles.
+func (e *Executor) ForTiles2D(rows, cols, tileR, tileC int, fn func(r0, r1, c0, c1 int)) {
+	if rows <= 0 || cols <= 0 {
+		return
+	}
+	if tileR <= 0 || tileC <= 0 {
+		panic("pram: ForTiles2D requires positive tile sizes")
+	}
+	tilesC := (cols + tileC - 1) / tileC
+	tilesR := (rows + tileR - 1) / tileR
+	total := tilesR * tilesC
+	runTile := func(t int) {
+		r0 := (t / tilesC) * tileR
+		c0 := (t % tilesC) * tileC
+		r1 := r0 + tileR
+		if r1 > rows {
+			r1 = rows
+		}
+		c1 := c0 + tileC
+		if c1 > cols {
+			c1 = cols
+		}
+		fn(r0, r1, c0, c1)
+	}
+	var pc panicCell
+	if e.p == 1 || total == 1 {
+		e.tilesInline(total, runTile, &pc)
+		e.busy[0].Add(int64(total))
+		pc.rethrow(e)
+		return
+	}
+	workers := e.p
+	if workers > total {
+		workers = total
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			defer pc.capture()
+			e.fire()
+			for {
+				t := int(next.Add(1)) - 1
+				if t >= total {
+					break
+				}
+				runTile(t)
+				e.busy[w].Add(1)
+			}
+		}(w)
+	}
+	wg.Wait()
+	pc.rethrow(e)
+}
+
+// tilesInline is the single-worker body of ForTiles2D.
+func (e *Executor) tilesInline(total int, runTile func(t int), pc *panicCell) {
+	defer pc.capture()
+	e.fire()
+	for t := 0; t < total; t++ {
+		runTile(t)
+	}
+}
+
 // Map applies fn to every index and collects results into a fresh slice, as
 // one parallel round.
 func Map[T any](e *Executor, n int, fn func(i int) T) []T {
