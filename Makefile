@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race chaos check bench bench-build bench-build-baseline
+.PHONY: build test vet race chaos serve-drill check bench bench-build bench-build-baseline
 
 build:
 	$(GO) build ./...
@@ -21,6 +21,16 @@ race:
 chaos:
 	$(GO) test -race -run 'Chaos|Robust|ServerWavePanic|Fallback|Degraded|PanicSurfaces|UsableAfterPanic' -count=1 .
 	$(GO) test -race -run 'Panic|Inject' -count=1 ./internal/pram ./internal/faultinject
+
+# serve-drill runs the live-telemetry chaos drill end to end: the real
+# serve command with fault injection and -listen mounted, scraped over HTTP
+# while under load. /metrics must serve strictly parseable Prometheus text
+# (counters by outcome, phase histograms with quantile gauges),
+# /flightrecorder must hold at least one injected failure event, and a real
+# SIGINT must drain gracefully and still print the run summary (see
+# DESIGN.md "Live telemetry").
+serve-drill:
+	$(GO) test -race -run ServeDrill -count=1 -v ./cmd/sepsp
 
 # check is the tier-1 gate (see README): everything must pass before a
 # change lands.

@@ -16,7 +16,8 @@
 //	tree                     render the separator decomposition tree
 //	stats                    preprocessing statistics and cost breakdowns
 //	serve [-clients C] [-requests R] [-maxbatch B] [-inflight F] [-seed S]
-//	      [-timeout D] [-chaos P] [-chaosseed S]
+//	      [-timeout D] [-chaos P] [-chaosseed S] [-listen ADDR] [-linger D]
+//	      [-log-level L]
 //	                         drive a synthetic concurrent load through the
 //	                         batching Server and print throughput and wave
 //	                         coalescing statistics (load test). -chaos P
@@ -24,7 +25,14 @@
 //	                         (2P‰) at every worker, phase, and wave boundary;
 //	                         the index is built with the baseline fallback so
 //	                         every request still ends in a correct answer or
-//	                         a typed error (chaos drill)
+//	                         a typed error (chaos drill). -listen ADDR mounts
+//	                         the live telemetry endpoint (/metrics Prometheus
+//	                         exposition, /healthz, /flightrecorder,
+//	                         /debug/pprof) for the duration of the load and,
+//	                         with -linger D, for D afterwards. SIGINT/SIGTERM
+//	                         stop the load gracefully: in-flight waves drain
+//	                         and the -metrics/-trace exports are still
+//	                         written.
 //
 // Observability flags:
 //
@@ -34,10 +42,14 @@
 //	-metrics out.json        metrics snapshot (counters/gauges/histograms)
 //	-pprof dir/              write dir/cpu.pprof and dir/heap.pprof, with
 //	                         phase= labels on instrumented sections
+//	-log-level L             serve: structured log/slog level on stderr
+//	                         (debug|info|warn|error|off; default info —
+//	                         waves log at debug, failures at warn/error)
 package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -86,6 +98,9 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		timeout     = fs.Duration("timeout", 0, "serve: queue deadline per request (0 = none)")
 		chaos       = fs.Int("chaos", 0, "serve: fault-injection panic permille (0 = off)")
 		chaosSeed   = fs.Int64("chaosseed", 1, "serve: fault-injection seed")
+		listen      = fs.String("listen", "", "serve: mount the live telemetry HTTP endpoint on this address (e.g. :9090, 127.0.0.1:0)")
+		linger      = fs.Duration("linger", 0, "serve: keep the -listen endpoint up this long after the load finishes")
+		logLevel    = fs.String("log-level", "info", "serve: structured log level on stderr (debug|info|warn|error|off)")
 	)
 	if err := fs.Parse(argv); err != nil {
 		return 2
@@ -138,6 +153,9 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		timeout:   *timeout,
 		chaos:     *chaos,
 		chaosSeed: *chaosSeed,
+		listen:    *listen,
+		linger:    *linger,
+		logLevel:  *logLevel,
 	}
 	var inj *faultinject.Seeded
 	if cmd == "serve" && cfg.chaos > 0 {
@@ -182,7 +200,16 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	w := bufio.NewWriter(stdout)
 	var code int
 	if cmd == "serve" {
-		code = runServe(w, ix, dg.N(), cfg, inj, ob, stderr)
+		// SIGINT/SIGTERM end the load gracefully instead of killing the
+		// process: clients stop issuing, queued requests are answered with
+		// cancellation, in-flight waves drain through Server.Close, and —
+		// crucially — control returns here so the -metrics/-trace exports
+		// below are still written (a Ctrl-C during a load test must not
+		// lose the run's metrics). A second signal falls back to the
+		// default handler and kills the process.
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		code = runServe(ctx, w, ix, dg.N(), cfg, inj, ob, stderr)
+		stop()
 	} else {
 		code = runCommand(w, ix, dg, cmd, *src, *dst, *srcsFlag, *pairsFlag, stderr)
 	}

@@ -5,7 +5,10 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"math/rand"
+	"net"
+	"net/http"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -25,6 +28,9 @@ type serveConfig struct {
 	timeout   time.Duration // Server queue deadline (0: none)
 	chaos     int           // fault-injection panic/delay permille (0: off)
 	chaosSeed int64         // fault-injection seed
+	listen    string        // live telemetry HTTP address ("" = off)
+	linger    time.Duration // keep the endpoint up this long after the load
+	logLevel  string        // slog level on stderr (debug|info|warn|error|off)
 }
 
 // chaosInjector builds the deterministic fault plan for `serve -chaos R`:
@@ -43,6 +49,20 @@ func chaosInjector(cfg serveConfig) *faultinject.Seeded {
 	})
 }
 
+// buildLogger returns the serve path's structured logger: log/slog text
+// records on stderr at the configured level, or nil (logging off at zero
+// cost) for "off".
+func buildLogger(w io.Writer, level string) (*slog.Logger, error) {
+	if level == "" || level == "off" {
+		return nil, nil
+	}
+	var lvl slog.Level
+	if err := lvl.UnmarshalText([]byte(level)); err != nil {
+		return nil, fmt.Errorf("-log-level %q: want debug|info|warn|error|off", level)
+	}
+	return slog.New(slog.NewTextHandler(w, &slog.HandlerOptions{Level: lvl})), nil
+}
+
 // runServe drives a synthetic concurrent load through a sepsp.Server on the
 // built index and prints a throughput and batching summary — the load-test
 // harness for the concurrent serving layer. Rejected requests
@@ -51,7 +71,14 @@ func chaosInjector(cfg serveConfig) *faultinject.Seeded {
 // the summary. With chaos injection enabled (cfg.chaos > 0) requests may
 // additionally end in typed fault errors, which are tolerated and counted —
 // anything untyped fails the run.
-func runServe(w io.Writer, ix *sepsp.Index, n int, cfg serveConfig, inj *faultinject.Seeded, ob *sepsp.Observer, stderr io.Writer) int {
+//
+// With cfg.listen set, the live telemetry endpoint (sepsp.Telemetry
+// /metrics, /healthz, /flightrecorder, /debug/pprof) is mounted for the
+// duration of the load plus cfg.linger. Cancelling ctx (SIGINT/SIGTERM in
+// main) stops the load gracefully: clients stop issuing, in-flight waves
+// drain through Server.Close, and runServe returns normally so the
+// caller's metric exports still happen.
+func runServe(ctx context.Context, w io.Writer, ix *sepsp.Index, n int, cfg serveConfig, inj *faultinject.Seeded, ob *sepsp.Observer, stderr io.Writer) int {
 	fail := func(err error) int {
 		fmt.Fprintln(stderr, "sepsp:", err)
 		return 1
@@ -62,11 +89,21 @@ func runServe(w io.Writer, ix *sepsp.Index, n int, cfg serveConfig, inj *faultin
 	if cfg.requests <= 0 {
 		cfg.requests = 256
 	}
+	logger, err := buildLogger(stderr, cfg.logLevel)
+	if err != nil {
+		return fail(err)
+	}
+	var tel *sepsp.Telemetry
+	if cfg.listen != "" {
+		tel = sepsp.NewTelemetry(nil)
+	}
 	sopt := &sepsp.ServerOptions{
 		MaxBatch:     cfg.maxBatch,
 		MaxInFlight:  cfg.inFlight,
 		QueueTimeout: cfg.timeout,
 		Observer:     ob,
+		Telemetry:    tel,
+		Logger:       logger,
 	}
 	if inj != nil {
 		// Assigning a nil *Seeded would make the interface non-nil.
@@ -75,6 +112,21 @@ func runServe(w io.Writer, ix *sepsp.Index, n int, cfg serveConfig, inj *faultin
 	srv, err := sepsp.NewServer(ix, sopt)
 	if err != nil {
 		return fail(err)
+	}
+
+	var httpSrv *http.Server
+	if cfg.listen != "" {
+		ln, err := net.Listen("tcp", cfg.listen)
+		if err != nil {
+			return fail(err)
+		}
+		httpSrv = &http.Server{Handler: tel.Handler()}
+		go func() { _ = httpSrv.Serve(ln) }() // ErrServerClosed after Shutdown
+		// The discovery line external drills parse; keep its shape stable.
+		fmt.Fprintf(stderr, "telemetry: listening on http://%s\n", ln.Addr())
+		if logger != nil {
+			logger.Info("telemetry endpoint up", "addr", ln.Addr().String())
+		}
 	}
 
 	var served, faulted atomic.Int64
@@ -90,11 +142,15 @@ func runServe(w io.Writer, ix *sepsp.Index, n int, cfg serveConfig, inj *faultin
 		go func(c, quota int) {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(cfg.seed + int64(c)))
-			retry := &sepsp.RetryOptions{Seed: cfg.seed + int64(c) + 1, BaseDelay: 50 * time.Microsecond}
-			for i := 0; i < quota; i++ {
+			retry := &sepsp.RetryOptions{
+				Seed:      cfg.seed + int64(c) + 1,
+				BaseDelay: 50 * time.Microsecond,
+				Telemetry: tel,
+			}
+			for i := 0; i < quota && ctx.Err() == nil; i++ {
 				src := rng.Intn(n)
-				dist, err := sepsp.RetryValue(context.Background(), retry, func() ([]float64, error) {
-					return srv.SSSP(context.Background(), src)
+				dist, err := sepsp.RetryValue(ctx, retry, func() ([]float64, error) {
+					return srv.SSSP(ctx, src)
 				})
 				switch {
 				case err == nil && len(dist) == n:
@@ -111,8 +167,33 @@ func runServe(w io.Writer, ix *sepsp.Index, n int, cfg serveConfig, inj *faultin
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
+	interrupted := ctx.Err() != nil
+	if interrupted && logger != nil {
+		logger.Warn("load interrupted by signal; draining in-flight waves")
+	}
 	health := srv.Healthz()
+
+	// Keep the telemetry endpoint scrapeable for a postmortem window after
+	// the load (the flight recorder and histograms hold the run's tail),
+	// then drain the server and stop serving HTTP.
+	if httpSrv != nil && cfg.linger > 0 && !interrupted {
+		if logger != nil {
+			logger.Info("lingering", "addr", cfg.listen, "for", cfg.linger)
+		}
+		select {
+		case <-time.After(cfg.linger):
+		case <-ctx.Done():
+		}
+	}
 	srv.Close()
+	if httpSrv != nil {
+		sctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		_ = httpSrv.Shutdown(sctx)
+		cancel()
+	}
+	if logger != nil {
+		logger.Info("serve finished", "health", health.String(), "interrupted", interrupted)
+	}
 
 	if err, _ := firstErr.Load().(error); err != nil {
 		return fail(err)
@@ -120,12 +201,17 @@ func runServe(w io.Writer, ix *sepsp.Index, n int, cfg serveConfig, inj *faultin
 
 	waves := ob.CounterValue(obs.MServerWaves)
 	_, _, meanWave := ob.HistogramStats(obs.MServerWaveSize)
+	p50 := ob.HistogramQuantile(obs.MServerWaveSize, 0.5)
+	p99 := ob.HistogramQuantile(obs.MServerWaveSize, 0.99)
 	fmt.Fprintf(w, "serve: %d requests, %d clients\n", cfg.requests, cfg.clients)
 	fmt.Fprintf(w, "served=%d faulted=%d rejected=%d cancelled=%d timedout=%d\n",
 		served.Load(), faulted.Load(), health.Rejected, health.Cancelled, health.TimedOut)
-	fmt.Fprintf(w, "waves=%d meanWave=%.2f\n", waves, meanWave)
+	fmt.Fprintf(w, "waves=%d meanWave=%.2f p50Wave=%.2f p99Wave=%.2f\n", waves, meanWave, p50, p99)
 	fmt.Fprintf(w, "elapsed=%s throughput=%.0f req/s\n",
 		elapsed.Round(time.Millisecond), float64(served.Load())/elapsed.Seconds())
+	if interrupted {
+		fmt.Fprintf(w, "interrupted=true\n")
+	}
 	if cfg.chaos > 0 {
 		wp, wd, _ := inj.Fired(faultinject.SitePramWorker)
 		qp, qd, _ := inj.Fired(faultinject.SiteQueryPhase)

@@ -10,6 +10,7 @@ import (
 	"sepsp/internal/core"
 	"sepsp/internal/graph"
 	"sepsp/internal/obs"
+	"sepsp/internal/obs/live"
 )
 
 // FallbackPolicy selects what happens when the separator engine cannot be
@@ -48,6 +49,20 @@ type fallbackEngine struct {
 	// Registry instruments; nil-safe no-ops without an Observer.
 	cEngaged *obs.Counter
 	cQueries *obs.Counter
+
+	// Live telemetry counters, set via setLiveCounters when a Telemetry
+	// attaches to a Server over this index (atomic: attachment races with
+	// in-flight degraded queries). Nil-safe no-ops until then.
+	liveEngaged atomic.Pointer[live.Counter]
+	liveQueries atomic.Pointer[live.Counter]
+}
+
+// setLiveCounters routes future engage/query counts to the live telemetry
+// registry as well ("sepsp_fallback_engaged_total" /
+// "sepsp_fallback_queries_total").
+func (f *fallbackEngine) setLiveCounters(engaged, queries *live.Counter) {
+	f.liveEngaged.Store(engaged)
+	f.liveQueries.Store(queries)
 }
 
 // newFallbackEngine vets g for fallback service: baseline queries must
@@ -81,11 +96,13 @@ func newFallbackEngine(g *graph.Digraph, sink *obs.Sink) (*fallbackEngine, error
 func (f *fallbackEngine) engage() {
 	f.engaged.Add(1)
 	f.cEngaged.Inc()
+	f.liveEngaged.Load().Inc()
 }
 
 func (f *fallbackEngine) note() {
 	f.queries.Add(1)
 	f.cQueries.Inc()
+	f.liveQueries.Load().Inc()
 }
 
 // sssp answers one exact single-source query on the original graph. The

@@ -1,0 +1,223 @@
+package live
+
+import (
+	"encoding/json"
+	"sync/atomic"
+	"time"
+)
+
+// Kind classifies a flight-recorder event.
+type Kind uint8
+
+const (
+	// KindQuery is a query that completed successfully.
+	KindQuery Kind = iota
+	// KindWave is one executed coalesced wave.
+	KindWave
+	// KindFailure is a query that ended in anything but success (shed,
+	// timeout, cancellation, panic, typed error).
+	KindFailure
+)
+
+// String returns the kind's wire name.
+func (k Kind) String() string {
+	switch k {
+	case KindQuery:
+		return "query"
+	case KindWave:
+		return "wave"
+	case KindFailure:
+		return "failure"
+	}
+	return "unknown"
+}
+
+// MarshalJSON encodes the kind as its string name.
+func (k Kind) MarshalJSON() ([]byte, error) { return json.Marshal(k.String()) }
+
+// Outcome classifies how a request ended.
+type Outcome uint8
+
+const (
+	// OutcomeOK: the request was answered with exact distances.
+	OutcomeOK Outcome = iota
+	// OutcomeTimeout: the request outlived the server's queue deadline.
+	OutcomeTimeout
+	// OutcomeShed: the request was refused at admission (overload).
+	OutcomeShed
+	// OutcomeCancelled: the caller's context ended first.
+	OutcomeCancelled
+	// OutcomePanic: the serving wave panicked and was recovered.
+	OutcomePanic
+	// OutcomeError: any other typed serving error.
+	OutcomeError
+)
+
+// String returns the outcome's wire name.
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeOK:
+		return "ok"
+	case OutcomeTimeout:
+		return "timeout"
+	case OutcomeShed:
+		return "shed"
+	case OutcomeCancelled:
+		return "cancelled"
+	case OutcomePanic:
+		return "panic"
+	case OutcomeError:
+		return "error"
+	}
+	return "unknown"
+}
+
+// MarshalJSON encodes the outcome as its string name.
+func (o Outcome) MarshalJSON() ([]byte, error) { return json.Marshal(o.String()) }
+
+// Event is one flight-recorder record. All fields are plain values so a
+// slot fits in a handful of atomic words.
+type Event struct {
+	// Seq is the event's position in the recorder's total order (1-based,
+	// monotonically increasing across wraps).
+	Seq uint64 `json:"seq"`
+	// Time is the event time in Unix nanoseconds.
+	Time int64 `json:"time_unix_nano"`
+	// Kind is query, wave, or failure.
+	Kind Kind `json:"kind"`
+	// Outcome is how the request (or wave) ended.
+	Outcome Outcome `json:"outcome"`
+	// Source is the query's source vertex (-1 for wave events).
+	Source int32 `json:"source"`
+	// Wave is the id of the wave that served the event (0: never reached a
+	// wave — shed at admission or dead on arrival).
+	Wave int64 `json:"wave"`
+	// Batch is the number of live requests in the wave.
+	Batch int32 `json:"batch"`
+	// QueueNanos and ComputeNanos decompose the latency into time spent
+	// queued (admission → wave start) and the wave's shared compute time.
+	QueueNanos   int64 `json:"queue_ns"`
+	ComputeNanos int64 `json:"compute_ns"`
+	// Degraded reports whether the index was serving from the baseline
+	// fallback engine at the time.
+	Degraded bool `json:"degraded"`
+}
+
+// slot is one ring cell. ver is a per-slot seqlock: odd while a writer is
+// mid-flight, bumped to even when the write completes. Every field is an
+// atomic word, so readers never race a writer at the memory level; the
+// version check makes torn *logical* reads detectable and retried.
+type slot struct {
+	ver     atomic.Uint64
+	seq     atomic.Uint64 // ticket of the event the slot currently holds
+	time    atomic.Int64
+	wave    atomic.Int64
+	queueNs atomic.Int64
+	compNs  atomic.Int64
+	// packed: source in the high 32 bits, batch in the low 32.
+	srcBatch atomic.Uint64
+	// packed: kind<<16 | outcome<<8 | degraded.
+	meta atomic.Uint64
+}
+
+// Recorder is the flight recorder: a fixed-size lock-free ring that keeps
+// the most recent events. Writers claim a ticket with one atomic add and
+// publish through the slot's seqlock; Record never blocks and never
+// allocates. Snapshot walks the ring and skips slots a writer holds —
+// under a pathological wrap race (the ring lapped mid-read) an event may
+// be dropped from the snapshot, never corrupted.
+type Recorder struct {
+	mask   uint64
+	cursor atomic.Uint64 // tickets issued (1-based)
+	slots  []slot
+}
+
+// NewRecorder returns a recorder holding the most recent `size` events,
+// rounded up to a power of two (minimum 16).
+func NewRecorder(size int) *Recorder {
+	n := 16
+	for n < size {
+		n <<= 1
+	}
+	return &Recorder{mask: uint64(n - 1), slots: make([]slot, n)}
+}
+
+// Cap returns the ring capacity (0 for nil).
+func (r *Recorder) Cap() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.slots)
+}
+
+// Record appends e, overwriting the oldest event once the ring is full.
+// e.Seq is assigned by the recorder. Safe for concurrent use; wait-free
+// except for the single fetch-add.
+func (r *Recorder) Record(e Event) {
+	if r == nil {
+		return
+	}
+	ticket := r.cursor.Add(1)
+	s := &r.slots[(ticket-1)&r.mask]
+	s.ver.Add(1) // odd: write in progress
+	s.time.Store(e.Time)
+	s.wave.Store(e.Wave)
+	s.queueNs.Store(e.QueueNanos)
+	s.compNs.Store(e.ComputeNanos)
+	s.srcBatch.Store(uint64(uint32(e.Source))<<32 | uint64(uint32(e.Batch)))
+	var deg uint64
+	if e.Degraded {
+		deg = 1
+	}
+	s.meta.Store(uint64(e.Kind)<<16 | uint64(e.Outcome)<<8 | deg)
+	s.seq.Store(ticket)
+	s.ver.Add(1) // even: published
+}
+
+// Snapshot returns the recorded events oldest-first. Slots mid-write or
+// lapped during the read are skipped.
+func (r *Recorder) Snapshot() []Event {
+	if r == nil {
+		return nil
+	}
+	newest := r.cursor.Load()
+	n := uint64(len(r.slots))
+	oldest := uint64(1)
+	if newest > n {
+		oldest = newest - n + 1
+	}
+	out := make([]Event, 0, newest-oldest+1)
+	for t := oldest; t <= newest; t++ {
+		s := &r.slots[(t-1)&r.mask]
+		for attempt := 0; attempt < 3; attempt++ {
+			v1 := s.ver.Load()
+			if v1&1 != 0 {
+				continue // writer mid-flight; retry
+			}
+			e := Event{
+				Seq:          s.seq.Load(),
+				Time:         s.time.Load(),
+				Wave:         s.wave.Load(),
+				QueueNanos:   s.queueNs.Load(),
+				ComputeNanos: s.compNs.Load(),
+			}
+			sb := s.srcBatch.Load()
+			e.Source = int32(sb >> 32)
+			e.Batch = int32(uint32(sb))
+			meta := s.meta.Load()
+			e.Kind = Kind(meta >> 16)
+			e.Outcome = Outcome(meta >> 8 & 0xff)
+			e.Degraded = meta&1 != 0
+			if s.ver.Load() != v1 || e.Seq != t {
+				continue // torn or lapped; retry
+			}
+			out = append(out, e)
+			break
+		}
+	}
+	return out
+}
+
+// Now returns the current time in Unix nanoseconds — the recorder's clock,
+// centralized so call sites stay one line.
+func Now() int64 { return time.Now().UnixNano() }

@@ -174,6 +174,63 @@ func (h HistogramSnapshot) Mean() float64 {
 	return h.Sum / float64(h.Count)
 }
 
+// Quantile estimates the q-quantile (q in [0,1]) of the recorded
+// distribution: the owning bucket is located by rank and the estimate
+// interpolates linearly between the bucket's lower and upper bound — the
+// standard bucketed-histogram estimator, shared by the offline snapshots
+// here and the live serving histograms (internal/obs/live). Estimates are
+// exact at bucket boundaries and off by at most one bucket width inside a
+// bucket; observations past the last bound are clamped to it. Returns 0
+// when the histogram is empty.
+func (h HistogramSnapshot) Quantile(q float64) float64 {
+	if h.Count <= 0 || len(h.Bounds) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	rank := int64(math.Ceil(q * float64(h.Count)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i, c := range h.Counts {
+		if c == 0 {
+			continue
+		}
+		prev := cum
+		cum += c
+		if cum < rank {
+			continue
+		}
+		if i >= len(h.Bounds) {
+			// Overflow bucket: no upper bound to interpolate toward.
+			return h.Bounds[len(h.Bounds)-1]
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = h.Bounds[i-1]
+		}
+		hi := h.Bounds[i]
+		return lo + (hi-lo)*float64(rank-prev)/float64(c)
+	}
+	return h.Bounds[len(h.Bounds)-1]
+}
+
+// Log2Bounds returns geometric bucket upper bounds 2^minExp … 2^maxExp —
+// the bucketing shared by the live lock-free histogram (which indexes them
+// with math.Frexp instead of a search) and any offline histogram that wants
+// log-spaced buckets.
+func Log2Bounds(minExp, maxExp int) []float64 {
+	b := make([]float64, 0, maxExp-minExp+1)
+	for e := minExp; e <= maxExp; e++ {
+		b = append(b, math.Ldexp(1, e))
+	}
+	return b
+}
+
 // Snapshot is a stable point-in-time copy of a registry, the unit the JSON
 // and text exporters consume.
 type Snapshot struct {

@@ -209,3 +209,70 @@ func TestSinkDoAppliesLabels(t *testing.T) {
 		t.Fatal("Do did not run f")
 	}
 }
+
+func TestHistogramSnapshotQuantile(t *testing.T) {
+	// 100 observations of 1..100 in DefaultBuckets (powers of four).
+	reg := NewRegistry()
+	h := reg.Histogram("q")
+	for v := 1; v <= 100; v++ {
+		h.Observe(float64(v))
+	}
+	s := reg.Snapshot().Histograms["q"]
+	if s.Count != 100 {
+		t.Fatalf("Count = %d, want 100", s.Count)
+	}
+	for _, tc := range []struct{ q, lo, hi float64 }{
+		// The estimate must land in the same bucket as the true order
+		// statistic: p50 (true 50) in (16, 64], p99 (true 99) in (64, 256].
+		{0.5, 16, 64},
+		{0.99, 64, 256},
+		{0, 0, 1},    // clamped to rank 1: first bucket
+		{1, 64, 256}, // rank 100
+	} {
+		got := s.Quantile(tc.q)
+		if got < tc.lo || got > tc.hi {
+			t.Errorf("Quantile(%g) = %g, want in [%g, %g]", tc.q, got, tc.lo, tc.hi)
+		}
+	}
+}
+
+func TestHistogramQuantileEdgeCases(t *testing.T) {
+	var empty HistogramSnapshot
+	if got := empty.Quantile(0.5); got != 0 {
+		t.Fatalf("empty Quantile = %g, want 0", got)
+	}
+	// Boundary exactness: all mass in one bucket interpolates across it.
+	s := HistogramSnapshot{
+		Count:  4,
+		Bounds: []float64{1, 2, 4},
+		Counts: []int64{0, 4, 0, 0},
+	}
+	if got := s.Quantile(1); got != 2 {
+		t.Fatalf("Quantile(1) = %g, want upper bound 2", got)
+	}
+	if got := s.Quantile(0.5); got != 1.5 {
+		t.Fatalf("Quantile(0.5) = %g, want midpoint 1.5", got)
+	}
+	// Overflow-bucket mass clamps to the last bound.
+	over := HistogramSnapshot{
+		Count:  2,
+		Bounds: []float64{1, 2},
+		Counts: []int64{0, 0, 2},
+	}
+	if got := over.Quantile(0.99); got != 2 {
+		t.Fatalf("overflow Quantile = %g, want 2", got)
+	}
+}
+
+func TestLog2Bounds(t *testing.T) {
+	b := Log2Bounds(-2, 3)
+	want := []float64{0.25, 0.5, 1, 2, 4, 8}
+	if len(b) != len(want) {
+		t.Fatalf("len = %d, want %d", len(b), len(want))
+	}
+	for i := range want {
+		if b[i] != want[i] {
+			t.Fatalf("b[%d] = %g, want %g", i, b[i], want[i])
+		}
+	}
+}

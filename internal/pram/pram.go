@@ -201,6 +201,17 @@ func (e *Executor) WorkerIters() []int64 {
 	return out
 }
 
+// WorkerIter returns worker slot w's busy-iteration counter (0 when w is
+// out of range). Allocation-free — the per-worker shape live telemetry
+// gauges scrape on every /metrics hit, where WorkerIters' copy would cost
+// P slices per scrape.
+func (e *Executor) WorkerIter(w int) int64 {
+	if w < 0 || w >= len(e.busy) {
+		return 0
+	}
+	return e.busy[w].Load()
+}
+
 // ResetWorkerIters zeroes the busy-iteration counters.
 func (e *Executor) ResetWorkerIters() {
 	for w := range e.busy {

@@ -25,6 +25,10 @@ type RetryOptions struct {
 	// Sleep replaces the backoff sleep (tests); nil sleeps on a timer,
 	// returning early with the context's cause if ctx ends first.
 	Sleep func(ctx context.Context, d time.Duration) error
+	// Telemetry, when non-nil, counts every overload backoff this retry
+	// loop sleeps ("sepsp_retry_backoffs_total"), so operators can see
+	// retry pressure building before the server starts shedding hard.
+	Telemetry *Telemetry
 }
 
 // Retry runs op, retrying with jittered exponential backoff as long as op
@@ -40,6 +44,7 @@ type RetryOptions struct {
 func Retry(ctx context.Context, opt *RetryOptions, op func() error) error {
 	attempts, base, max := 4, 5*time.Millisecond, 500*time.Millisecond
 	var seed int64
+	var tel *Telemetry
 	sleep := sleepContext
 	if opt != nil {
 		if opt.MaxAttempts > 0 {
@@ -55,6 +60,7 @@ func Retry(ctx context.Context, opt *RetryOptions, op func() error) error {
 		if opt.Sleep != nil {
 			sleep = opt.Sleep
 		}
+		tel = opt.Telemetry
 	}
 	if seed == 0 {
 		seed = time.Now().UnixNano()
@@ -69,6 +75,7 @@ func Retry(ctx context.Context, opt *RetryOptions, op func() error) error {
 		if attempt+1 >= attempts {
 			return err
 		}
+		tel.recordBackoff()
 		d := time.Duration(rng.Int63n(int64(ceil) + 1))
 		if serr := sleep(ctx, d); serr != nil {
 			return serr

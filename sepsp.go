@@ -230,6 +230,14 @@ func (o *Observer) HistogramStats(name string) (count int64, sum, mean float64) 
 	return h.Count, h.Sum, h.Mean()
 }
 
+// HistogramQuantile estimates the q-quantile (q in [0,1]) of the named
+// registry histogram by linear interpolation inside its bucketed counts —
+// the same estimator the live serving telemetry uses for its p50/p99
+// series. Returns 0 if the histogram was never observed.
+func (o *Observer) HistogramQuantile(name string, q float64) float64 {
+	return o.sink.Metrics.Snapshot().Histograms[name].Quantile(q)
+}
+
 func (o *Options) finder() (separator.Finder, error) {
 	if o == nil {
 		return &separator.BFSFinder{}, nil

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -11,6 +12,7 @@ import (
 
 	"sepsp/internal/faultinject"
 	"sepsp/internal/obs"
+	"sepsp/internal/obs/live"
 )
 
 // ServerOptions configures a Server. The zero value (or nil) uses the
@@ -39,6 +41,16 @@ type ServerOptions struct {
 	// Inject, when non-nil, fires the fault-injection harness at the
 	// server's wave boundary ("server.wave"). Chaos testing only.
 	Inject faultinject.Injector
+	// Telemetry, when non-nil, receives live serving telemetry: per-query
+	// outcome counters, queue-wait and compute-time histograms, wave sizes,
+	// and flight-recorder events, continuously scrapeable while serving
+	// (see Telemetry.Handler). Nil keeps the uninstrumented hot path — the
+	// per-request cost is exactly one nil check.
+	Telemetry *Telemetry
+	// Logger, when non-nil, receives structured serving logs via log/slog:
+	// executed waves at Debug, recovered panics at Error. Nil disables
+	// logging at zero cost.
+	Logger *slog.Logger
 }
 
 // Server serves concurrent shortest-path requests on one shared Index,
@@ -84,12 +96,19 @@ type Server struct {
 	cancelled *obs.Counter
 	timedout  *obs.Counter
 	panics    *obs.Counter
+
+	// Live telemetry and structured logging; both nil by default, and the
+	// hot path pays only a nil check for each.
+	tel     *Telemetry
+	logger  *slog.Logger
+	waveSeq atomic.Int64 // wave ids for flight-recorder correlation
 }
 
 type ssspReq struct {
 	src  int
 	ctx  context.Context
 	resc chan ssspResp // buffered; the dispatcher never blocks on delivery
+	enq  int64         // admission time, Unix nanos; 0 without Telemetry
 }
 
 type ssspResp struct {
@@ -116,6 +135,8 @@ func newServer(ix *Index, opt *ServerOptions) (*Server, error) {
 	var queueTimeout time.Duration
 	var inj faultinject.Injector
 	var reg *obs.Registry
+	var tel *Telemetry
+	var logger *slog.Logger
 	if opt != nil {
 		if opt.MaxBatch < 0 || opt.MaxInFlight < 0 || opt.QueueTimeout < 0 {
 			return nil, fmt.Errorf("%w: server limits must be non-negative", ErrBadOptions)
@@ -131,6 +152,8 @@ func newServer(ix *Index, opt *ServerOptions) (*Server, error) {
 		if opt.Observer != nil {
 			reg = opt.Observer.sink.Metrics
 		}
+		tel = opt.Telemetry
+		logger = opt.Logger
 	}
 	s := &Server{
 		ix:           ix,
@@ -138,6 +161,8 @@ func newServer(ix *Index, opt *ServerOptions) (*Server, error) {
 		maxInFlight:  maxInFlight,
 		queueTimeout: queueTimeout,
 		inj:          inj,
+		tel:          tel,
+		logger:       logger,
 		reqs:         make(chan ssspReq, maxInFlight),
 		depth:        reg.Gauge(obs.MServerQueueDepth),
 		waveSize:     reg.Histogram(obs.MServerWaveSize),
@@ -147,6 +172,9 @@ func newServer(ix *Index, opt *ServerOptions) (*Server, error) {
 		cancelled:    reg.Counter(obs.MServerCancelled),
 		timedout:     reg.Counter(obs.MServerTimedOut),
 		panics:       reg.Counter(obs.MServerPanics),
+	}
+	if tel != nil {
+		tel.attach(s)
 	}
 	return s, nil
 }
@@ -172,6 +200,9 @@ func (s *Server) SSSP(ctx context.Context, src int) ([]float64, error) {
 		defer cancel()
 	}
 	r := ssspReq{src: src, ctx: ctx, resc: make(chan ssspResp, 1)}
+	if s.tel != nil {
+		r.enq = time.Now().UnixNano()
+	}
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -187,6 +218,9 @@ func (s *Server) SSSP(ctx context.Context, src int) ([]float64, error) {
 		s.mu.Unlock()
 		s.nRejected.Add(1)
 		s.rejected.Inc()
+		if s.tel != nil {
+			s.tel.recordShed(src)
+		}
 		return nil, ErrServerOverloaded
 	}
 	select {
@@ -223,28 +257,41 @@ func (s *Server) Dist(ctx context.Context, u, v int) (float64, error) {
 // ServerHealth is a point-in-time snapshot of a Server's serving state, for
 // health endpoints and load-shedding decisions. Counters are cumulative
 // since NewServer.
+//
+// The JSON field names are a serialization contract: the /healthz endpoint
+// (Telemetry.Handler) serves this struct, external probes match on the
+// snake_case keys, and a golden test pins them — extend the struct, never
+// rename a tag.
 type ServerHealth struct {
 	// Closed reports whether Close has been called.
-	Closed bool
+	Closed bool `json:"closed"`
 	// Degraded reports whether the underlying Index serves from the
 	// baseline fallback engine (see Index.Degraded).
-	Degraded bool
+	Degraded bool `json:"degraded"`
 	// QueueDepth is the number of requests currently queued, and
 	// MaxInFlight/MaxBatch the configured limits.
-	QueueDepth  int
-	MaxInFlight int
-	MaxBatch    int
+	QueueDepth  int `json:"queue_depth"`
+	MaxInFlight int `json:"max_in_flight"`
+	MaxBatch    int `json:"max_batch"`
 	// Requests counts admitted requests; Rejected counts refusals with
 	// ErrServerOverloaded; Cancelled and TimedOut count admitted requests
 	// that ended with their context's cancellation or ErrQueueTimeout.
-	Requests  int64
-	Rejected  int64
-	Cancelled int64
-	TimedOut  int64
+	Requests  int64 `json:"requests"`
+	Rejected  int64 `json:"rejected"`
+	Cancelled int64 `json:"cancelled"`
+	TimedOut  int64 `json:"timed_out"`
 	// Waves counts executed coalesced waves; Panics counts panics the
 	// dispatcher recovered.
-	Waves  int64
-	Panics int64
+	Waves  int64 `json:"waves"`
+	Panics int64 `json:"panics"`
+}
+
+// String renders the snapshot as one "key=value" line for logs and CLIs.
+func (h ServerHealth) String() string {
+	return fmt.Sprintf(
+		"closed=%v degraded=%v queue=%d/%d maxBatch=%d requests=%d rejected=%d cancelled=%d timedout=%d waves=%d panics=%d",
+		h.Closed, h.Degraded, h.QueueDepth, h.MaxInFlight, h.MaxBatch,
+		h.Requests, h.Rejected, h.Cancelled, h.TimedOut, h.Waves, h.Panics)
 }
 
 // Healthz returns a consistent-enough snapshot of the server's state; safe
@@ -338,7 +385,19 @@ func (s *Server) gather(batch []ssspReq) []ssspReq {
 // under a merged context that lives as long as any member does. The whole
 // wave runs under a panic guard — a panic answers every member with a
 // *PanicError and the dispatcher moves on to the next wave.
+//
+// With Telemetry attached, each decided request records its outcome and
+// its latency phase breakdown — queue wait (admission → wave start) and
+// the wave's shared compute time — plus a flight-recorder event; without
+// it this function performs no clock reads and no extra work.
 func (s *Server) serveWave(batch []ssspReq) {
+	instr := s.tel != nil || s.logger != nil
+	var waveStart time.Time
+	var degraded bool
+	if instr {
+		waveStart = time.Now()
+		degraded = s.ix.Degraded()
+	}
 	defer func() {
 		if r := recover(); r != nil {
 			// Panics outside runWave's own guard (delivery bookkeeping).
@@ -347,6 +406,12 @@ func (s *Server) serveWave(batch []ssspReq) {
 			s.nPanics.Add(1)
 			s.panics.Inc()
 			pe := newPanicError("serve", r)
+			if s.tel != nil {
+				s.tel.recordQuery(live.OutcomePanic, -1, 0, 0, 0, len(batch), degraded)
+			}
+			if s.logger != nil {
+				s.logger.Error("wave delivery panicked", "batch", len(batch), "err", pe)
+			}
 			for _, req := range batch {
 				select {
 				case req.resc <- ssspResp{err: pe}:
@@ -355,40 +420,61 @@ func (s *Server) serveWave(batch []ssspReq) {
 			}
 		}
 	}()
-	live := batch[:0]
+	alive := batch[:0]
 	for _, r := range batch {
 		if r.ctx.Err() != nil {
 			cause := context.Cause(r.ctx)
+			out := live.OutcomeCancelled
 			if errors.Is(cause, ErrQueueTimeout) {
 				s.nTimedOut.Add(1)
 				s.timedout.Inc()
+				out = live.OutcomeTimeout
 			} else {
 				s.nCancelled.Add(1)
 				s.cancelled.Inc()
 			}
+			if s.tel != nil {
+				s.tel.recordQuery(out, r.src, 0, waveStart.UnixNano()-r.enq, 0, 0, degraded)
+			}
 			r.resc <- ssspResp{err: cause}
 			continue
 		}
-		live = append(live, r)
+		alive = append(alive, r)
 	}
-	if len(live) == 0 {
+	if len(alive) == 0 {
 		return
 	}
-	srcs := make([]int, len(live))
-	for i, r := range live {
+	srcs := make([]int, len(alive))
+	for i, r := range alive {
 		srcs[i] = r.src
 	}
-	ctx, release := waveContext(live)
+	waveID := s.waveSeq.Add(1)
+	ctx, release := waveContext(alive)
+	var t0 time.Time
+	if instr {
+		t0 = time.Now()
+	}
 	rows, err := s.runWave(ctx, srcs)
+	var computeNanos int64
+	if instr {
+		computeNanos = time.Since(t0).Nanoseconds()
+	}
 	release()
 	if err != nil {
 		var pe *PanicError
 		if errors.As(err, &pe) {
 			s.nPanics.Add(1)
 			s.panics.Inc()
+			if s.logger != nil {
+				s.logger.Error("wave panicked", "wave", waveID, "size", len(alive), "err", err)
+			}
 		}
-		for _, r := range live {
+		for _, r := range alive {
 			resp := ssspResp{err: err}
+			out := live.OutcomePanic
+			if pe == nil {
+				out = live.OutcomeError
+			}
 			if cerr := r.ctx.Err(); cerr != nil && pe == nil {
 				// The wave was abandoned because every member went away;
 				// answer each with its own cause and count it once here.
@@ -396,10 +482,15 @@ func (s *Server) serveWave(batch []ssspReq) {
 				if errors.Is(resp.err, ErrQueueTimeout) {
 					s.nTimedOut.Add(1)
 					s.timedout.Inc()
+					out = live.OutcomeTimeout
 				} else {
 					s.nCancelled.Add(1)
 					s.cancelled.Inc()
+					out = live.OutcomeCancelled
 				}
+			}
+			if s.tel != nil {
+				s.tel.recordQuery(out, r.src, waveID, waveStart.UnixNano()-r.enq, computeNanos, len(alive), degraded)
 			}
 			r.resc <- resp
 		}
@@ -407,8 +498,17 @@ func (s *Server) serveWave(batch []ssspReq) {
 	}
 	s.nWaves.Add(1)
 	s.waves.Inc()
-	s.waveSize.Observe(float64(len(live)))
-	for i, r := range live {
+	s.waveSize.Observe(float64(len(alive)))
+	if s.tel != nil {
+		for _, r := range alive {
+			s.tel.recordQuery(live.OutcomeOK, r.src, waveID, waveStart.UnixNano()-r.enq, computeNanos, len(alive), degraded)
+		}
+		s.tel.recordWave(waveID, len(alive), computeNanos, degraded)
+	}
+	if s.logger != nil {
+		s.logger.Debug("wave served", "wave", waveID, "size", len(alive), "compute", time.Duration(computeNanos))
+	}
+	for i, r := range alive {
 		r.resc <- ssspResp{dist: rows[i]}
 	}
 }

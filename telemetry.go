@@ -1,0 +1,287 @@
+package sepsp
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+
+	"sepsp/internal/obs/live"
+)
+
+// TelemetryOptions configures NewTelemetry. The zero value (or nil) uses
+// the defaults noted on each field.
+type TelemetryOptions struct {
+	// FlightRecorderSize is how many recent query/wave/failure events the
+	// flight recorder retains for /flightrecorder postmortem dumps
+	// (default 512, rounded up to a power of two).
+	FlightRecorderSize int
+}
+
+// Telemetry is the live serving telemetry registry: lock-free counters,
+// latency histograms with phase breakdown (queue wait vs wave compute),
+// and a flight recorder of the most recent events. Attach one to a Server
+// via ServerOptions.Telemetry and expose it with Handler:
+//
+//	tel := sepsp.NewTelemetry(nil)
+//	srv, _ := sepsp.NewServer(ix, &sepsp.ServerOptions{Telemetry: tel})
+//	http.ListenAndServe(":9090", tel.Handler())
+//
+// The hot-path cost is a few atomic operations per request when attached
+// and exactly zero when ServerOptions.Telemetry is nil (the server keeps
+// its uninstrumented path). Unlike Observer — which snapshots after a run
+// finishes — Telemetry is safe to scrape continuously while serving. All
+// methods are safe for concurrent use. A Telemetry may be shared by
+// several Servers; per-server gauges are distinguished by a server="N"
+// label in attachment order, and /healthz reports the first server.
+type Telemetry struct {
+	reg *live.Registry
+	rec *live.Recorder
+
+	// queries is indexed by live.Outcome; degradedQ counts queries served
+	// while the index was degraded to the baseline fallback (orthogonal to
+	// outcome — a degraded query usually still succeeds).
+	queries   [6]*live.Counter
+	degradedQ *live.Counter
+	waves     *live.Counter
+	backoffs  *live.Counter
+	fbEngaged *live.Counter
+	fbQueries *live.Counter
+
+	queueWait   *live.Histogram // seconds queued: admission → wave start
+	computeTime *live.Histogram // seconds of shared wave compute
+	waveSize    *live.Histogram // live requests per executed wave
+
+	mu      sync.Mutex
+	servers []*Server
+	indexes map[*Index]int // attached index → id for worker gauge labels
+}
+
+// NewTelemetry returns a telemetry registry with every metric family
+// pre-registered, so the /metrics shape is stable from the first scrape.
+func NewTelemetry(opt *TelemetryOptions) *Telemetry {
+	size := 512
+	if opt != nil && opt.FlightRecorderSize > 0 {
+		size = opt.FlightRecorderSize
+	}
+	reg := live.NewRegistry()
+	t := &Telemetry{
+		reg:     reg,
+		rec:     live.NewRecorder(size),
+		indexes: make(map[*Index]int),
+	}
+	const qname = "sepsp_server_queries_total"
+	const qhelp = "Requests decided by the server, by outcome."
+	for out := live.OutcomeOK; out <= live.OutcomeError; out++ {
+		t.queries[out] = reg.Counter(qname, qhelp, `outcome="`+out.String()+`"`)
+	}
+	t.degradedQ = reg.Counter("sepsp_server_degraded_queries_total",
+		"Queries served while the index was degraded to the baseline fallback engine.", "")
+	t.waves = reg.Counter("sepsp_server_waves_total",
+		"Executed coalesced waves.", "")
+	t.backoffs = reg.Counter("sepsp_retry_backoffs_total",
+		"Overload retries slept by sepsp.Retry.", "")
+	t.fbEngaged = reg.Counter("sepsp_fallback_engaged_total",
+		"Degradation causes observed by the baseline fallback engine.", "")
+	t.fbQueries = reg.Counter("sepsp_fallback_queries_total",
+		"Queries answered by the baseline fallback engine.", "")
+	t.queueWait = reg.Histogram("sepsp_server_queue_wait_seconds",
+		"Seconds a request spent queued, from admission to its wave starting.", "")
+	t.computeTime = reg.Histogram("sepsp_server_compute_seconds",
+		"Seconds of shared compute for the wave that served the request.", "")
+	t.waveSize = reg.Histogram("sepsp_server_wave_size",
+		"Live requests coalesced into one executed wave.", "")
+	return t
+}
+
+// attach wires a server's scrape-time gauges (and, once per index, the
+// executor's per-worker busy gauges and the fallback engine's live
+// counters) into the registry. Called by NewServer.
+func (t *Telemetry) attach(s *Server) {
+	t.mu.Lock()
+	sid := len(t.servers)
+	t.servers = append(t.servers, s)
+	ixid, seen := t.indexes[s.ix]
+	if !seen {
+		ixid = len(t.indexes)
+		t.indexes[s.ix] = ixid
+	}
+	t.mu.Unlock()
+
+	slbl := fmt.Sprintf(`server="%d"`, sid)
+	t.reg.GaugeFunc("sepsp_server_queue_depth",
+		"Requests currently queued for a wave.", slbl,
+		func() float64 { return float64(len(s.reqs)) })
+	t.reg.GaugeFunc("sepsp_server_max_in_flight",
+		"Configured admission cap (MaxInFlight).", slbl,
+		func() float64 { return float64(s.maxInFlight) })
+	t.reg.GaugeFunc("sepsp_server_degraded",
+		"1 while the index serves from the baseline fallback engine.", slbl,
+		func() float64 {
+			if s.ix.Degraded() {
+				return 1
+			}
+			return 0
+		})
+	if seen {
+		return
+	}
+	ex := s.ix.ex
+	ilbl := fmt.Sprintf(`index="%d"`, ixid)
+	for w := 0; w < ex.P(); w++ {
+		w := w
+		t.reg.GaugeFunc("sepsp_worker_busy_iterations",
+			"Busy iterations executed per PRAM worker slot (resettable).",
+			fmt.Sprintf(`%s,worker="%d"`, ilbl, w),
+			func() float64 { return float64(ex.WorkerIter(w)) })
+	}
+	t.reg.GaugeFunc("sepsp_exec_load_imbalance",
+		"Max/mean busy iterations across the executor's workers (1 = balanced).", ilbl,
+		func() float64 { _, _, imb := ex.LoadStats(); return imb })
+	if s.ix.fb != nil {
+		s.ix.fb.setLiveCounters(t.fbEngaged, t.fbQueries)
+	}
+}
+
+// recordQuery records one decided request: outcome counter, phase
+// histograms, and a flight-recorder event (KindQuery on success,
+// KindFailure otherwise).
+func (t *Telemetry) recordQuery(out live.Outcome, src int, wave int64, queueNanos, computeNanos int64, batch int, degraded bool) {
+	t.queries[out].Inc()
+	if degraded {
+		t.degradedQ.Inc()
+	}
+	t.queueWait.Observe(float64(queueNanos) / 1e9)
+	if out == live.OutcomeOK {
+		t.computeTime.Observe(float64(computeNanos) / 1e9)
+	}
+	kind := live.KindQuery
+	if out != live.OutcomeOK {
+		kind = live.KindFailure
+	}
+	t.rec.Record(live.Event{
+		Time:         live.Now(),
+		Kind:         kind,
+		Outcome:      out,
+		Source:       int32(src),
+		Wave:         wave,
+		Batch:        int32(batch),
+		QueueNanos:   queueNanos,
+		ComputeNanos: computeNanos,
+		Degraded:     degraded,
+	})
+}
+
+// recordWave records one executed coalesced wave.
+func (t *Telemetry) recordWave(wave int64, batch int, computeNanos int64, degraded bool) {
+	t.waves.Inc()
+	t.waveSize.Observe(float64(batch))
+	t.rec.Record(live.Event{
+		Time:         live.Now(),
+		Kind:         live.KindWave,
+		Outcome:      live.OutcomeOK,
+		Source:       -1,
+		Wave:         wave,
+		Batch:        int32(batch),
+		ComputeNanos: computeNanos,
+		Degraded:     degraded,
+	})
+}
+
+// recordShed records a request refused at admission; it never queued, so
+// only the outcome counter and the flight recorder see it.
+func (t *Telemetry) recordShed(src int) {
+	t.queries[live.OutcomeShed].Inc()
+	t.rec.Record(live.Event{
+		Time:    live.Now(),
+		Kind:    live.KindFailure,
+		Outcome: live.OutcomeShed,
+		Source:  int32(src),
+	})
+}
+
+// recordBackoff counts one overload retry slept by Retry. Nil-safe: Retry
+// calls it unconditionally through RetryOptions.
+func (t *Telemetry) recordBackoff() {
+	if t != nil {
+		t.backoffs.Inc()
+	}
+}
+
+// QueriesTotal returns the cumulative decided-request count across every
+// outcome — a programmatic convenience mirroring the
+// sepsp_server_queries_total family.
+func (t *Telemetry) QueriesTotal() int64 {
+	return t.reg.CounterValue("sepsp_server_queries_total")
+}
+
+// WriteMetrics writes every metric family in the Prometheus text
+// exposition format — the same bytes the /metrics endpoint serves.
+func (t *Telemetry) WriteMetrics(w io.Writer) error {
+	return t.reg.WritePrometheus(w)
+}
+
+// WriteFlightRecorder writes the flight recorder's current contents as one
+// JSON object {"capacity": N, "events": [...]}, events oldest-first — the
+// same bytes the /flightrecorder endpoint serves.
+func (t *Telemetry) WriteFlightRecorder(w io.Writer) error {
+	payload := struct {
+		Capacity int          `json:"capacity"`
+		Events   []live.Event `json:"events"`
+	}{Capacity: t.rec.Cap(), Events: t.rec.Snapshot()}
+	if payload.Events == nil {
+		payload.Events = []live.Event{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(payload)
+}
+
+// Handler returns an embeddable http.Handler exposing the serving
+// telemetry:
+//
+//	/metrics         Prometheus text exposition (counters, histograms,
+//	                 bucket-estimated p50/p90/p99/p999 quantile gauges)
+//	/healthz         ServerHealth of the first attached server as JSON
+//	/flightrecorder  recent query/wave/failure events as JSON
+//	/debug/pprof/    the standard runtime profiles
+//
+// Mount it on its own listener (cmd/sepsp serve -listen) or under a route
+// of an existing mux.
+func (t *Telemetry) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = t.WriteMetrics(w)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		t.mu.Lock()
+		var srv *Server
+		if len(t.servers) > 0 {
+			srv = t.servers[0]
+		}
+		t.mu.Unlock()
+		if srv == nil {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintln(w, `{"error":"no server attached"}`)
+			return
+		}
+		h := srv.Healthz()
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(h)
+	})
+	mux.HandleFunc("/flightrecorder", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = t.WriteFlightRecorder(w)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
