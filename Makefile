@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race chaos serve-drill check bench bench-build bench-build-baseline
+.PHONY: build test vet race chaos serve-drill reweight-drill api-check api-snapshot check bench bench-build bench-build-baseline
 
 build:
 	$(GO) build ./...
@@ -32,9 +32,26 @@ chaos:
 serve-drill:
 	$(GO) test -race -run ServeDrill -count=1 -v ./cmd/sepsp
 
+# reweight-drill runs the zero-downtime reweighting drill: the real serve
+# command under chaos load with a timer hot-swapping new weights, asserting
+# the epoch advances through >= 3 swaps with zero swap-attributable request
+# failures, plus the SIGHUP operational-reload path (see DESIGN.md "Index
+# lifecycle and epochs").
+reweight-drill:
+	$(GO) test -race -run ServeReweight -count=1 -v ./cmd/sepsp
+
+# api-check gates the public API surface against the committed snapshot
+# (api/sepsp.txt): removals and signature changes are breaking, additions
+# must be acknowledged by re-recording with api-snapshot.
+api-check:
+	$(GO) run ./cmd/apicheck -pkg . -snapshot api/sepsp.txt
+
+api-snapshot:
+	$(GO) run ./cmd/apicheck -pkg . -snapshot api/sepsp.txt -write
+
 # check is the tier-1 gate (see README): everything must pass before a
 # change lands.
-check: vet test race
+check: vet api-check test race
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

@@ -1,0 +1,303 @@
+// Command apicheck gates the public API surface of a Go package.
+//
+// It extracts every exported declaration from the package source with
+// go/parser (no type-checking, no external tooling — the repo builds with
+// an empty module cache) and renders them one per line in a stable sorted
+// order. The committed snapshot is the contract:
+//
+//	apicheck -pkg . -snapshot api/sepsp.txt          # gate (exit 1 on drift)
+//	apicheck -pkg . -snapshot api/sepsp.txt -write   # re-record after an
+//	                                                 # intentional API change
+//
+// A line missing from the current surface is a removal or an incompatible
+// signature change; a new line is an addition that must be acknowledged by
+// re-recording. Either way the gate fails loudly instead of letting the
+// public surface drift silently through a refactor.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/printer"
+	"go/token"
+	"os"
+	"sort"
+	"strings"
+	"unicode"
+	"unicode/utf8"
+)
+
+func main() {
+	pkgDir := flag.String("pkg", ".", "package directory to extract the API from")
+	snapshot := flag.String("snapshot", "", "snapshot file to compare against (or write with -write)")
+	write := flag.Bool("write", false, "write the snapshot instead of checking it")
+	flag.Parse()
+	if *snapshot == "" {
+		fmt.Fprintln(os.Stderr, "apicheck: -snapshot FILE is required")
+		os.Exit(2)
+	}
+	lines, err := extract(*pkgDir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "apicheck:", err)
+		os.Exit(2)
+	}
+	if *write {
+		if err := writeSnapshot(*snapshot, lines); err != nil {
+			fmt.Fprintln(os.Stderr, "apicheck:", err)
+			os.Exit(2)
+		}
+		fmt.Printf("apicheck: recorded %d declarations to %s\n", len(lines), *snapshot)
+		return
+	}
+	want, err := readSnapshot(*snapshot)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "apicheck:", err)
+		os.Exit(2)
+	}
+	removed, added := diff(want, lines)
+	if len(removed) == 0 && len(added) == 0 {
+		fmt.Printf("apicheck: %s ok (%d declarations)\n", *pkgDir, len(lines))
+		return
+	}
+	for _, l := range removed {
+		fmt.Printf("apicheck: removed or changed (BREAKING): %s\n", l)
+	}
+	for _, l := range added {
+		fmt.Printf("apicheck: added: %s\n", l)
+	}
+	fmt.Printf("apicheck: public API drifted from %s; if intentional, re-record with `make api-snapshot` and call it out in the change description\n", *snapshot)
+	os.Exit(1)
+}
+
+// extract parses the non-test files of the package in dir and returns the
+// exported API surface, one sorted line per declaration.
+func extract(dir string) ([]string, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, 0)
+	if err != nil {
+		return nil, err
+	}
+	set := map[string]bool{}
+	for name, pkg := range pkgs {
+		if strings.HasSuffix(name, "_test") {
+			continue
+		}
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				collect(fset, decl, set)
+			}
+		}
+	}
+	lines := make([]string, 0, len(set))
+	for l := range set {
+		lines = append(lines, l)
+	}
+	sort.Strings(lines)
+	return lines, nil
+}
+
+func collect(fset *token.FileSet, decl ast.Decl, set map[string]bool) {
+	switch d := decl.(type) {
+	case *ast.FuncDecl:
+		if !d.Name.IsExported() {
+			return
+		}
+		if d.Recv != nil {
+			recv := exprString(fset, d.Recv.List[0].Type)
+			if !exportedBase(recv) {
+				return
+			}
+			set[fmt.Sprintf("method (%s) %s%s", recv, d.Name.Name, signature(fset, d.Type))] = true
+			return
+		}
+		set["func "+d.Name.Name+signature(fset, d.Type)] = true
+	case *ast.GenDecl:
+		for _, spec := range d.Specs {
+			switch s := spec.(type) {
+			case *ast.TypeSpec:
+				collectType(fset, s, set)
+			case *ast.ValueSpec:
+				kind := "const"
+				if d.Tok == token.VAR {
+					kind = "var"
+				}
+				for _, n := range s.Names {
+					if n.IsExported() {
+						line := kind + " " + n.Name
+						if s.Type != nil {
+							line += " " + exprString(fset, s.Type)
+						}
+						set[line] = true
+					}
+				}
+			}
+		}
+	}
+}
+
+func collectType(fset *token.FileSet, s *ast.TypeSpec, set map[string]bool) {
+	if !s.Name.IsExported() {
+		return
+	}
+	name := s.Name.Name
+	switch t := s.Type.(type) {
+	case *ast.StructType:
+		set["type "+name+" struct"] = true
+		for _, f := range t.Fields.List {
+			ft := exprString(fset, f.Type)
+			if len(f.Names) == 0 { // embedded
+				if exportedBase(ft) {
+					set[fmt.Sprintf("embed %s.%s", name, ft)] = true
+				}
+				continue
+			}
+			for _, fn := range f.Names {
+				if fn.IsExported() {
+					set[fmt.Sprintf("field %s.%s %s", name, fn.Name, ft)] = true
+				}
+			}
+		}
+	case *ast.InterfaceType:
+		set["type "+name+" interface"] = true
+		for _, m := range t.Methods.List {
+			if len(m.Names) == 0 { // embedded interface
+				set[fmt.Sprintf("embed %s.%s", name, exprString(fset, m.Type))] = true
+				continue
+			}
+			ft, ok := m.Type.(*ast.FuncType)
+			if !ok {
+				continue
+			}
+			for _, mn := range m.Names {
+				if mn.IsExported() {
+					set[fmt.Sprintf("method %s.%s%s", name, mn.Name, signature(fset, ft))] = true
+				}
+			}
+		}
+	default:
+		eq := " "
+		if s.Assign.IsValid() {
+			eq = " = "
+		}
+		set["type "+name+eq+exprString(fset, s.Type)] = true
+	}
+}
+
+// signature renders a function type with parameter names stripped —
+// renaming a parameter is not an API change, so the snapshot must not see
+// it.
+func signature(fset *token.FileSet, ft *ast.FuncType) string {
+	var b strings.Builder
+	b.WriteString("(")
+	b.WriteString(strings.Join(fieldTypes(fset, ft.Params), ", "))
+	b.WriteString(")")
+	if ft.Results != nil {
+		rs := fieldTypes(fset, ft.Results)
+		switch len(rs) {
+		case 0:
+		case 1:
+			b.WriteString(" " + rs[0])
+		default:
+			b.WriteString(" (" + strings.Join(rs, ", ") + ")")
+		}
+	}
+	return b.String()
+}
+
+// fieldTypes expands a field list to one type string per declared name
+// ("u, v int" contributes "int" twice).
+func fieldTypes(fset *token.FileSet, fl *ast.FieldList) []string {
+	if fl == nil {
+		return nil
+	}
+	var out []string
+	for _, f := range fl.List {
+		t := exprString(fset, f.Type)
+		n := len(f.Names)
+		if n == 0 {
+			n = 1
+		}
+		for i := 0; i < n; i++ {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+func exprString(fset *token.FileSet, e ast.Expr) string {
+	var b strings.Builder
+	if err := printer.Fprint(&b, fset, e); err != nil {
+		return fmt.Sprintf("<%v>", err)
+	}
+	// Collapse any multi-line rendering (struct literals in array sizes
+	// etc.) so every declaration stays one snapshot line.
+	return strings.Join(strings.Fields(b.String()), " ")
+}
+
+// exportedBase reports whether a rendered receiver/embedded type refers to
+// an exported name once pointers and type parameters are stripped.
+func exportedBase(t string) bool {
+	t = strings.TrimLeft(t, "*")
+	if i := strings.IndexAny(t, "[("); i >= 0 {
+		t = t[:i]
+	}
+	if i := strings.LastIndex(t, "."); i >= 0 {
+		t = t[i+1:]
+	}
+	r, _ := utf8.DecodeRuneInString(t)
+	return unicode.IsUpper(r)
+}
+
+func writeSnapshot(path string, lines []string) error {
+	var b strings.Builder
+	b.WriteString("# Exported API surface, one declaration per line, sorted.\n")
+	b.WriteString("# Checked by `make api-check`; re-record intentional changes with `make api-snapshot`.\n")
+	for _, l := range lines {
+		b.WriteString(l)
+		b.WriteString("\n")
+	}
+	return os.WriteFile(path, []byte(b.String()), 0o644)
+}
+
+func readSnapshot(path string) ([]string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, l := range strings.Split(string(data), "\n") {
+		l = strings.TrimSpace(l)
+		if l == "" || strings.HasPrefix(l, "#") {
+			continue
+		}
+		out = append(out, l)
+	}
+	return out, nil
+}
+
+// diff returns snapshot lines absent from the current surface (removals —
+// breaking) and current lines absent from the snapshot (additions). Both
+// inputs are sorted sets.
+func diff(want, got []string) (removed, added []string) {
+	gotSet := make(map[string]bool, len(got))
+	for _, l := range got {
+		gotSet[l] = true
+	}
+	wantSet := make(map[string]bool, len(want))
+	for _, l := range want {
+		wantSet[l] = true
+		if !gotSet[l] {
+			removed = append(removed, l)
+		}
+	}
+	for _, l := range got {
+		if !wantSet[l] {
+			added = append(added, l)
+		}
+	}
+	return removed, added
+}

@@ -1,0 +1,133 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// writePkg lays down a tiny package and returns its directory.
+func writePkg(t *testing.T, src string) string {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "pkg.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+func TestExtractSurface(t *testing.T) {
+	dir := writePkg(t, `package demo
+
+import "context"
+
+// Exported surface.
+const MaxN = 10
+var Default *Config
+
+type Config struct {
+	Workers int
+	name    string // unexported: not part of the surface
+	Inner
+}
+
+type Inner struct{}
+
+type Handler interface {
+	Serve(ctx context.Context, n int) error
+}
+
+type Alias = Config
+type ID int
+
+func New(workers, depth int, opts ...string) (*Config, error) { return nil, nil }
+func (c *Config) Run(ctx context.Context) error               { return nil }
+func (c *Config) internal()                                   {}
+func helper()                                                 {}
+`)
+	got, err := extract(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{
+		"const MaxN",
+		"embed Config.Inner",
+		"field Config.Workers int",
+		"func New(int, int, ...string) (*Config, error)",
+		"method (*Config) Run(context.Context) error",
+		"method Handler.Serve(context.Context, int) error",
+		"type Alias = Config",
+		"type Config struct",
+		"type Handler interface",
+		"type ID int",
+		"type Inner struct",
+		"var Default *Config",
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("extract mismatch:\n got  %q\n want %q", got, want)
+	}
+}
+
+func TestExtractSkipsTestFiles(t *testing.T) {
+	dir := writePkg(t, "package demo\n\nfunc Keep() {}\n")
+	if err := os.WriteFile(filepath.Join(dir, "x_test.go"),
+		[]byte("package demo\n\nfunc TestOnly() {}\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := extract(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"func Keep()"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("extract = %q, want %q", got, want)
+	}
+}
+
+func TestDiffClassifiesDrift(t *testing.T) {
+	want := []string{"func A()", "func B()"}
+	got := []string{"func A()", "func C()"}
+	removed, added := diff(want, got)
+	if !reflect.DeepEqual(removed, []string{"func B()"}) {
+		t.Errorf("removed = %q, want [func B()]", removed)
+	}
+	if !reflect.DeepEqual(added, []string{"func C()"}) {
+		t.Errorf("added = %q, want [func C()]", added)
+	}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "api.txt")
+	lines := []string{"func A()", "type T struct"}
+	if err := writeSnapshot(path, lines); err != nil {
+		t.Fatal(err)
+	}
+	got, err := readSnapshot(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, lines) {
+		t.Errorf("round trip = %q, want %q", got, lines)
+	}
+}
+
+// TestRepoSnapshotCurrent is the in-process twin of `make api-check`: the
+// committed snapshot must match the root package's exported surface.
+func TestRepoSnapshotCurrent(t *testing.T) {
+	got, err := extract("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := readSnapshot("../../api/sepsp.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	removed, added := diff(want, got)
+	for _, l := range removed {
+		t.Errorf("removed or changed (breaking): %s", l)
+	}
+	for _, l := range added {
+		t.Errorf("added but not recorded (run `make api-snapshot`): %s", l)
+	}
+}

@@ -17,7 +17,7 @@
 //	stats                    preprocessing statistics and cost breakdowns
 //	serve [-clients C] [-requests R] [-maxbatch B] [-inflight F] [-seed S]
 //	      [-timeout D] [-chaos P] [-chaosseed S] [-listen ADDR] [-linger D]
-//	      [-log-level L]
+//	      [-log-level L] [-reweight FILE] [-reweight-every D]
 //	                         drive a synthetic concurrent load through the
 //	                         batching Server and print throughput and wave
 //	                         coalescing statistics (load test). -chaos P
@@ -32,7 +32,13 @@
 //	                         with -linger D, for D afterwards. SIGINT/SIGTERM
 //	                         stop the load gracefully: in-flight waves drain
 //	                         and the -metrics/-trace exports are still
-//	                         written.
+//	                         written. -reweight FILE hot-swaps the serving
+//	                         index from FILE (same undirected skeleton, new
+//	                         weights) on SIGHUP with zero downtime — the
+//	                         operational reload path — and -reweight-every D
+//	                         additionally reloads every D (the reweight
+//	                         drill: repeated epoch swaps under live load,
+//	                         visible as the advancing "epoch" in /healthz).
 //
 // Observability flags:
 //
@@ -101,6 +107,8 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		listen      = fs.String("listen", "", "serve: mount the live telemetry HTTP endpoint on this address (e.g. :9090, 127.0.0.1:0)")
 		linger      = fs.Duration("linger", 0, "serve: keep the -listen endpoint up this long after the load finishes")
 		logLevel    = fs.String("log-level", "info", "serve: structured log level on stderr (debug|info|warn|error|off)")
+		reweight    = fs.String("reweight", "", "serve: hot-swap the serving index from this graph file on SIGHUP (zero-downtime reload)")
+		reweightDur = fs.Duration("reweight-every", 0, "serve: with -reweight, also reload on this period (reweight drill; 0 = SIGHUP only)")
 	)
 	if err := fs.Parse(argv); err != nil {
 		return 2
@@ -156,6 +164,12 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		listen:    *listen,
 		linger:    *linger,
 		logLevel:  *logLevel,
+
+		reweight:      *reweight,
+		reweightEvery: *reweightDur,
+	}
+	if cfg.reweightEvery > 0 && cfg.reweight == "" {
+		return fail(fmt.Errorf("-reweight-every needs -reweight FILE"))
 	}
 	var inj *faultinject.Seeded
 	if cmd == "serve" && cfg.chaos > 0 {
@@ -165,9 +179,15 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		// A chaos drill injects faults into the build too, so the index is
 		// built with the exact-baseline fallback: a faulted build degrades
 		// instead of failing and the drill still measures serving behaviour.
+		// A reweight drill is the exception: hot-swapping needs the
+		// separator decomposition (a degraded index has nothing to rebuild
+		// from), so chaos then targets the serving path only and the
+		// preprocessing runs clean.
 		inj = chaosInjector(cfg)
-		opt.Inject = inj
-		opt.Fallback = sepsp.FallbackBaseline
+		if cfg.reweight == "" {
+			opt.Inject = inj
+			opt.Fallback = sepsp.FallbackBaseline
+		}
 	}
 	if *coordsPath != "" {
 		coords, err := readCoords(*coordsPath, dg.N())

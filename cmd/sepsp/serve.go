@@ -9,12 +9,16 @@ import (
 	"math/rand"
 	"net"
 	"net/http"
+	"os"
+	"os/signal"
 	"sync"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	sepsp "sepsp"
 	"sepsp/internal/faultinject"
+	"sepsp/internal/graph"
 	"sepsp/internal/obs"
 )
 
@@ -31,6 +35,78 @@ type serveConfig struct {
 	listen    string        // live telemetry HTTP address ("" = off)
 	linger    time.Duration // keep the endpoint up this long after the load
 	logLevel  string        // slog level on stderr (debug|info|warn|error|off)
+
+	reweight      string        // graph file hot-swapped in on SIGHUP ("" = off)
+	reweightEvery time.Duration // additionally reload on this period (reweight drill)
+}
+
+// readGraph loads a graph file into the builder the public API consumes,
+// returning the vertex count alongside.
+func readGraph(path string) (*sepsp.Graph, int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer f.Close()
+	dg, err := graph.Read(f)
+	if err != nil {
+		return nil, 0, err
+	}
+	g := sepsp.NewGraph(dg.N())
+	dg.Edges(func(from, to int, w float64) bool {
+		g.AddEdge(from, to, w)
+		return true
+	})
+	return g, dg.N(), nil
+}
+
+// reweightLoop hot-swaps the serving index from cfg.reweight on every
+// SIGHUP — the operational zero-downtime reload path — and, with
+// cfg.reweightEvery set, on a timer as well (the reweight drill: repeated
+// swaps under live load). A failed reload is logged and counted by the
+// Manager; traffic stays on the old epoch. The caller registers hup for
+// SIGHUP before starting the loop (so no early signal hits the default
+// handler); the loop exits when stop closes or ctx ends.
+func reweightLoop(ctx context.Context, srv *sepsp.Server, cfg serveConfig, n int, logger *slog.Logger, hup <-chan os.Signal, stop <-chan struct{}) {
+	var tick <-chan time.Time
+	if cfg.reweightEvery > 0 {
+		t := time.NewTicker(cfg.reweightEvery)
+		defer t.Stop()
+		tick = t.C
+	}
+	for {
+		select {
+		case <-stop:
+			return
+		case <-ctx.Done():
+			return
+		case <-hup:
+		case <-tick:
+		}
+		g, rn, err := readGraph(cfg.reweight)
+		if err == nil && rn != n {
+			err = fmt.Errorf("reweight %s: %d vertices, want %d", cfg.reweight, rn, n)
+		}
+		var epoch uint64
+		if err == nil {
+			epoch, err = srv.Reweight(ctx, g)
+		}
+		switch {
+		case err == nil:
+			if logger != nil {
+				logger.Info("reweight swapped", "file", cfg.reweight, "epoch", epoch)
+			}
+		case errors.Is(err, sepsp.ErrRebuildInFlight):
+			// A drill tick landed mid-rebuild; the running rebuild wins.
+		case errors.Is(err, context.Canceled):
+			return
+		default:
+			if logger != nil {
+				logger.Error("reweight failed; old epoch keeps serving",
+					"file", cfg.reweight, "err", err)
+			}
+		}
+	}
 }
 
 // chaosInjector builds the deterministic fault plan for `serve -chaos R`:
@@ -129,6 +205,20 @@ func runServe(ctx context.Context, w io.Writer, ix *sepsp.Index, n int, cfg serv
 		}
 	}
 
+	var rwStop chan struct{}
+	var rwWG sync.WaitGroup
+	if cfg.reweight != "" {
+		hup := make(chan os.Signal, 1)
+		signal.Notify(hup, syscall.SIGHUP)
+		defer signal.Stop(hup)
+		rwStop = make(chan struct{})
+		rwWG.Add(1)
+		go func() {
+			defer rwWG.Done()
+			reweightLoop(ctx, srv, cfg, n, logger, hup, rwStop)
+		}()
+	}
+
 	var served, faulted atomic.Int64
 	var firstErr atomic.Value
 	start := time.Now()
@@ -185,6 +275,12 @@ func runServe(ctx context.Context, w io.Writer, ix *sepsp.Index, n int, cfg serv
 		case <-ctx.Done():
 		}
 	}
+	// The reload path stays live through the linger window (the endpoint is
+	// still up and an operator may SIGHUP); stop it before draining.
+	if rwStop != nil {
+		close(rwStop)
+		rwWG.Wait()
+	}
 	srv.Close()
 	if httpSrv != nil {
 		sctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
@@ -211,6 +307,11 @@ func runServe(ctx context.Context, w io.Writer, ix *sepsp.Index, n int, cfg serv
 		elapsed.Round(time.Millisecond), float64(served.Load())/elapsed.Seconds())
 	if interrupted {
 		fmt.Fprintf(w, "interrupted=true\n")
+	}
+	if cfg.reweight != "" {
+		mgr := srv.Manager()
+		fmt.Fprintf(w, "reweight: swaps=%d failures=%d epoch=%d\n",
+			mgr.Swaps(), mgr.RebuildFailures(), mgr.Epoch())
 	}
 	if cfg.chaos > 0 {
 		wp, wd, _ := inj.Fired(faultinject.SitePramWorker)

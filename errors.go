@@ -55,6 +55,19 @@ var (
 	// graph). The blob cannot be used; rebuild or restore from a good copy.
 	ErrCorruptIndex = errors.New("sepsp: corrupt index data")
 
+	// ErrRebuildFailed reports that a Manager reweighting rebuild did not
+	// produce a servable index — the E+ reconstruction failed or panicked.
+	// The failure never touches live traffic: the manager keeps serving the
+	// old epoch, latches a failure counter, and surfaces this error to the
+	// Reweight caller (errors.Is also matches the underlying cause, e.g.
+	// ErrSkeletonMismatch or a *PanicError via errors.As).
+	ErrRebuildFailed = errors.New("sepsp: reweighting rebuild failed")
+
+	// ErrRebuildInFlight reports that Manager.Reweight was called while an
+	// earlier rebuild was still running. Rebuilds are single-flight: retry
+	// after the in-flight rebuild completes (or cancel it via its context).
+	ErrRebuildInFlight = errors.New("sepsp: a reweighting rebuild is already in flight")
+
 	// ErrDegraded reports that an operation requires the separator index
 	// but the Index is serving in degraded (baseline fallback) mode — the
 	// decomposition failed to build or failed its invariant checks, so

@@ -43,6 +43,9 @@ func Alg41(g *graph.Digraph, t *separator.Tree, cfg Config) (*Result, error) {
 	ws := matrix.NewWorkspace()
 
 	for level := t.Height; level >= 0; level-- {
+		if err := cfg.cancelled(); err != nil {
+			return nil, err
+		}
 		nodes := byLevel[level]
 		if len(nodes) == 0 {
 			continue

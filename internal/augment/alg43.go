@@ -138,6 +138,9 @@ func Alg43(g *graph.Digraph, t *separator.Tree, cfg Config) (*Result, error) {
 	staged := make([][]pulled, nn)
 	iters := 2*ceilLog2(t.N()) + 2*t.Height + 2
 	for it := 0; it < iters; it++ {
+		if err := cfg.cancelled(); err != nil {
+			return nil, err
+		}
 		var changed atomic.Bool
 		err := cfg.attributed("prep.iter",
 			obs.IterKey(obs.MPrepWork, it), obs.IterKey(obs.MPrepRounds, it),

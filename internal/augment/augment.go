@@ -18,6 +18,7 @@
 package augment
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -49,6 +50,20 @@ type Config struct {
 	// Alg43. Nil disables instrumentation entirely (the counted totals in
 	// Stats are identical either way).
 	Obs *obs.Sink
+	// Ctx, when non-nil, makes the construction cancellable: it is polled
+	// between tree levels (Alg41) and between doubling iterations (Alg43),
+	// and a cancelled run returns ctx.Err() within one level/iteration of
+	// work. Nil runs to completion.
+	Ctx context.Context
+}
+
+// cancelled reports the configured context's error, if any; the cheap poll
+// both algorithms run at their outer-loop boundaries.
+func (c Config) cancelled() error {
+	if c.Ctx == nil {
+		return nil
+	}
+	return c.Ctx.Err()
 }
 
 // attributed runs stage under Stats sub-accounting when Obs is enabled: the

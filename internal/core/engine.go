@@ -44,6 +44,11 @@ type Config struct {
 	// (site faultinject.SiteQueryPhase) — the chaos-test hook. Production
 	// leaves it nil and pays one dead branch per phase.
 	Inject faultinject.Injector
+	// Ctx, when non-nil, makes the E+ construction cancellable: it is
+	// polled at the augmentation's outer-loop boundaries (tree levels for
+	// Alg41, doubling iterations for Alg43) and a cancelled construction
+	// returns ctx.Err(). Nil builds to completion.
+	Ctx context.Context
 }
 
 // Engine is a preprocessed shortest-path oracle for one digraph and one
@@ -100,7 +105,7 @@ func NewEngine(g *graph.Digraph, tree *separator.Tree, cfg Config) (*Engine, err
 	if ex == nil {
 		ex = pram.Sequential
 	}
-	acfg := augment.Config{Ex: ex, Stats: cfg.PrepStats, UseFloydWarshall: cfg.UseFloydWarshall, Obs: cfg.Obs}
+	acfg := augment.Config{Ex: ex, Stats: cfg.PrepStats, UseFloydWarshall: cfg.UseFloydWarshall, Obs: cfg.Obs, Ctx: cfg.Ctx}
 	var (
 		res *augment.Result
 		err error

@@ -56,6 +56,10 @@ const (
 	SiteQueryPhase = "core.phase"
 	// SiteServerWave fires before the server dispatcher serves a wave.
 	SiteServerWave = "server.wave"
+	// SiteManagerRebuild fires at the start of a Manager reweighting
+	// rebuild — an injected panic there must latch the rebuild-failure
+	// path while the old epoch keeps serving.
+	SiteManagerRebuild = "manager.rebuild"
 	// SiteClientCancel is consulted by load generators to decide which
 	// requests to cancel while queued.
 	SiteClientCancel = "client.cancel"

@@ -17,6 +17,9 @@ const (
 	// KindFailure is a query that ended in anything but success (shed,
 	// timeout, cancellation, panic, typed error).
 	KindFailure
+	// KindSwap is an index-lifecycle event: a completed epoch hot-swap
+	// (OutcomeOK) or a failed reweighting rebuild (OutcomeError).
+	KindSwap
 )
 
 // String returns the kind's wire name.
@@ -28,6 +31,8 @@ func (k Kind) String() string {
 		return "wave"
 	case KindFailure:
 		return "failure"
+	case KindSwap:
+		return "swap"
 	}
 	return "unknown"
 }
@@ -98,6 +103,11 @@ type Event struct {
 	// queued (admission → wave start) and the wave's shared compute time.
 	QueueNanos   int64 `json:"queue_ns"`
 	ComputeNanos int64 `json:"compute_ns"`
+	// Epoch is the serving epoch the event belongs to: the epoch whose
+	// index served the query or wave, and the new (or for a failed rebuild,
+	// the retained) epoch for KindSwap events. 0 when the serving stack has
+	// no epoch lifecycle (an unmanaged index).
+	Epoch uint64 `json:"epoch"`
 	// Degraded reports whether the index was serving from the baseline
 	// fallback engine at the time.
 	Degraded bool `json:"degraded"`
@@ -114,6 +124,7 @@ type slot struct {
 	wave    atomic.Int64
 	queueNs atomic.Int64
 	compNs  atomic.Int64
+	epoch   atomic.Uint64
 	// packed: source in the high 32 bits, batch in the low 32.
 	srcBatch atomic.Uint64
 	// packed: kind<<16 | outcome<<8 | degraded.
@@ -164,6 +175,7 @@ func (r *Recorder) Record(e Event) {
 	s.wave.Store(e.Wave)
 	s.queueNs.Store(e.QueueNanos)
 	s.compNs.Store(e.ComputeNanos)
+	s.epoch.Store(e.Epoch)
 	s.srcBatch.Store(uint64(uint32(e.Source))<<32 | uint64(uint32(e.Batch)))
 	var deg uint64
 	if e.Degraded {
@@ -200,6 +212,7 @@ func (r *Recorder) Snapshot() []Event {
 				Wave:         s.wave.Load(),
 				QueueNanos:   s.queueNs.Load(),
 				ComputeNanos: s.compNs.Load(),
+				Epoch:        s.epoch.Load(),
 			}
 			sb := s.srcBatch.Load()
 			e.Source = int32(sb >> 32)

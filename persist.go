@@ -23,9 +23,21 @@ type indexDTO struct {
 	Shortcuts []graph.Edge
 	RawCount  int64
 	Algorithm int
+	// Epoch is the index's lifecycle generation tag (version ≥ 2; gob
+	// leaves it 0 when decoding a version-1 blob, which is exactly the
+	// unmanaged-index tag). Persisting it keeps epochs monotone across a
+	// save/restart/load cycle of a managed index.
+	Epoch uint64
 }
 
-const persistVersion = 1
+// persistVersion is the current on-disk format. History:
+//
+//	1: graph + decomposition + E+ shortcuts
+//	2: adds Epoch (lifecycle generation tag)
+//
+// Load accepts any version in [1, persistVersion]; absent fields decode as
+// their zero values.
+const persistVersion = 2
 
 // Save serializes the index (graph + decomposition + E+) so a later Load
 // can answer queries without re-running the preprocessing. A degraded index
@@ -42,6 +54,7 @@ func (ix *Index) Save(w io.Writer) error {
 		Shortcuts: ix.eng.Augmentation().Edges,
 		RawCount:  ix.eng.Augmentation().RawCount,
 		Algorithm: int(ix.alg),
+		Epoch:     ix.Epoch(),
 	}
 	return gob.NewEncoder(w).Encode(&dto)
 }
@@ -122,7 +135,7 @@ func Load(r io.Reader, workers int) (*Index, error) {
 	if err := gob.NewDecoder(r).Decode(&dto); err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrCorruptIndex, err)
 	}
-	if dto.Version != persistVersion {
+	if dto.Version < 1 || dto.Version > persistVersion {
 		return nil, fmt.Errorf("%w: unsupported version %d", ErrCorruptIndex, dto.Version)
 	}
 	if err := dto.validate(); err != nil {
@@ -145,6 +158,7 @@ func Load(r io.Reader, workers int) (*Index, error) {
 	res := &augment.Result{Edges: dto.Shortcuts, RawCount: dto.RawCount}
 	eng := core.NewEngineFromParts(g, tree, res, ex)
 	ix := &Index{eng: eng, g: g, ex: ex, alg: core.Algorithm(dto.Algorithm)}
+	ix.epoch.Store(dto.Epoch) // 0 for pre-epoch (version 1) blobs
 	ix.stats = Stats{
 		Shortcuts:     len(res.Edges),
 		TreeHeight:    tree.Height,

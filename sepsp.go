@@ -238,6 +238,17 @@ func (o *Observer) HistogramQuantile(name string, q float64) float64 {
 	return o.sink.Metrics.Snapshot().Histograms[name].Quantile(q)
 }
 
+// Validate checks the Options for the misconfigurations Build would reject
+// — conflicting or malformed decomposition hints, a Decomposition built
+// from inconsistent inputs, a zero Decomposition value — and returns an
+// error wrapping ErrBadOptions (nil for a valid or nil Options). Build
+// runs the same checks; Validate lets callers fail fast before paying for
+// graph construction.
+func (o *Options) Validate() error {
+	_, err := o.finder()
+	return err
+}
+
 func (o *Options) finder() (separator.Finder, error) {
 	if o == nil {
 		return &separator.BFSFinder{}, nil
@@ -368,6 +379,12 @@ type Index struct {
 	stats Stats
 	sink  *obs.Sink // observer sink, nil without an Observer
 
+	// epoch is the index's generation tag in an epoch-versioned lifecycle
+	// (see Manager): 0 for an unmanaged index, stamped when a Manager
+	// adopts or rebuilds it. Atomic because adoption may race a concurrent
+	// Save on an already-shared index. Save/Load round-trip it.
+	epoch atomic.Uint64
+
 	fb       *fallbackEngine // non-nil iff built with FallbackBaseline
 	degraded atomic.Bool     // latched: route every query to fb
 
@@ -394,6 +411,12 @@ func (ix *Index) primary() bool { return ix.eng != nil && !ix.degraded.Load() }
 // Transient per-query fallbacks (recovered panics) do not latch this.
 func (ix *Index) Degraded() bool { return !ix.primary() }
 
+// Epoch returns the index's generation tag in an epoch-versioned lifecycle:
+// 0 for an index built (or persisted) outside a Manager, otherwise the
+// monotonically increasing epoch the owning Manager stamped before
+// publishing it. Save and Load round-trip the tag.
+func (ix *Index) Epoch() uint64 { return ix.epoch.Load() }
+
 // degrade latches the index into fallback serving and counts the cause.
 func (ix *Index) degrade() {
 	ix.fb.engage()
@@ -401,7 +424,19 @@ func (ix *Index) degrade() {
 }
 
 // Build preprocesses the graph. It consumes the Graph's current edge set;
-// later AddEdge calls do not affect the returned Index.
+// later AddEdge calls do not affect the returned Index. It is
+// BuildContext with a background context.
+func Build(g *Graph, opt *Options) (*Index, error) {
+	return BuildContext(context.Background(), g, opt)
+}
+
+// BuildContext preprocesses the graph, like Build, with cooperative
+// cancellation of the expensive E+ construction: ctx is polled at the
+// augmentation's outer-loop boundaries (tree levels for Algorithm 4.1,
+// doubling iterations for Algorithm 4.3), and a cancelled build returns
+// (nil, ctx.Err()) within one level or iteration of work. Cancellation is
+// not a preprocessing failure: it never engages the baseline fallback,
+// even with Options.Fallback == FallbackBaseline.
 //
 // Edge weights must not be NaN or -Inf (ErrInvalidWeight); +Inf weights are
 // legal and equivalent to the edge being absent. With
@@ -410,7 +445,10 @@ func (ix *Index) degrade() {
 // but decomposition-less — Index instead of an error, and the built index
 // is self-checked (separator balance, shortcut-count bound, verified SSSP
 // spot-check) before it is trusted.
-func Build(g *Graph, opt *Options) (*Index, error) {
+func BuildContext(ctx context.Context, g *Graph, opt *Options) (*Index, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if err := g.b.CheckWeights(); err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrInvalidWeight, err)
 	}
@@ -444,8 +482,13 @@ func Build(g *Graph, opt *Options) (*Index, error) {
 		}
 	}
 	ex := opt.executor()
-	ix, err := buildPrimary(dg, finder, leaf, alg, ex, sink, inj)
+	ix, err := buildPrimary(ctx, dg, finder, leaf, alg, ex, sink, inj)
 	if err != nil {
+		if cerr := ctx.Err(); cerr != nil && errors.Is(err, cerr) {
+			// A cancelled build is the caller's decision, not a failure —
+			// never degrade to the fallback over it.
+			return nil, err
+		}
 		if fb == nil || errors.Is(err, ErrNegativeCycle) {
 			return nil, err
 		}
@@ -468,7 +511,7 @@ func Build(g *Graph, opt *Options) (*Index, error) {
 // buildPrimary runs the separator preprocessing with a panic guard: a panic
 // anywhere in decomposition or E+ construction surfaces as a *PanicError
 // instead of crashing the caller, so Build can degrade or report it.
-func buildPrimary(dg *graph.Digraph, finder separator.Finder, leaf int, alg core.Algorithm,
+func buildPrimary(ctx context.Context, dg *graph.Digraph, finder separator.Finder, leaf int, alg core.Algorithm,
 	ex *pram.Executor, sink *obs.Sink, inj faultinject.Injector) (ix *Index, err error) {
 	defer func() {
 		if r := recover(); r != nil {
@@ -481,7 +524,7 @@ func buildPrimary(dg *graph.Digraph, finder separator.Finder, leaf int, alg core
 		return nil, err
 	}
 	prep := &pram.Stats{}
-	eng, err := core.NewEngine(dg, tree, core.Config{Ex: ex, Algorithm: alg, PrepStats: prep, Obs: sink, Inject: inj})
+	eng, err := core.NewEngine(dg, tree, core.Config{Ex: ex, Algorithm: alg, PrepStats: prep, Obs: sink, Inject: inj, Ctx: ctx})
 	if err != nil {
 		if errors.Is(err, augment.ErrNegativeCycle) {
 			return nil, fmt.Errorf("%w: %v", ErrNegativeCycle, err)
@@ -644,45 +687,54 @@ func (ix *Index) fallbackFor(err error) bool {
 	return true
 }
 
-// recoverQuery is the shared recover policy of the value-returning query
-// guards: with a fallback engine the panic is counted and absorbed (the
-// caller reruns on the baseline); without one it re-raises as *PanicError
-// in the querying goroutine. Must be invoked deferred.
-func (ix *Index) recoverQuery(op string, ok *bool) {
-	r := recover()
-	if r == nil {
-		return
+// runGuarded is THE query panic guard: it executes primary and converts a
+// panic anywhere below (executor workers re-raise in the querying
+// goroutine) into a *PanicError instead of unwinding the caller. Every
+// public query method funnels through it, so the recover policy lives in
+// exactly one place; the historical per-method *Guard/*CtxGuard helpers
+// collapsed into this one function.
+func runGuarded[T any](op string, primary func() (T, error)) (out T, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			var zero T
+			out, err = zero, newPanicError(op, r)
+		}
+	}()
+	return primary()
+}
+
+// mustQuery adapts the canonical context-taking methods for the deprecated
+// value-returning wrappers: with a fallback engine errors cannot occur (a
+// recovered panic was absorbed and the query re-answered by the baseline),
+// and without one a *PanicError re-raises in the caller's goroutine — the
+// wrappers' historical contract. A context error is impossible because the
+// wrappers pass context.Background().
+func mustQuery[T any](out T, err error) T {
+	if err != nil {
+		panic(err)
 	}
-	if ix.fb == nil {
-		panic(newPanicError(op, r))
-	}
-	ix.fb.engage()
-	*ok = false
+	return out
 }
 
 // SSSP returns exact distances from src to every vertex (+Inf where
 // unreachable).
+//
+// Deprecated: use SSSPContext — the context-taking methods are the
+// canonical query surface (cancellable, error-returning); SSSP is a thin
+// context.Background() wrapper kept for existing callers.
 func (ix *Index) SSSP(src int) []float64 {
-	if ix.primary() {
-		if dist, ok := ix.ssspGuard("sssp", src); ok {
-			return dist
-		}
-	}
-	return ix.fb.sssp(ix.fb.g, src)
+	return mustQuery(ix.SSSPContext(context.Background(), src))
 }
 
-func (ix *Index) ssspGuard(op string, src int) (dist []float64, ok bool) {
-	ok = true
-	defer ix.recoverQuery(op, &ok)
-	return ix.eng.SSSP(src, nil), ok
-}
-
-// SSSPContext is SSSP with cooperative cancellation: ctx is polled between
+// SSSPContext computes exact distances from src to every vertex (+Inf
+// where unreachable) with cooperative cancellation: ctx is polled between
 // Bellman-Ford phases, so a cancelled or expired context returns
 // (nil, ctx.Err()) within one phase of relaxation work.
 func (ix *Index) SSSPContext(ctx context.Context, src int) ([]float64, error) {
 	if ix.primary() {
-		dist, err := ix.ssspCtxGuard(ctx, src)
+		dist, err := runGuarded("sssp", func() ([]float64, error) {
+			return ix.eng.SSSPContext(ctx, src, nil)
+		})
 		if err == nil || !ix.fallbackFor(err) {
 			return dist, err
 		}
@@ -690,91 +742,55 @@ func (ix *Index) SSSPContext(ctx context.Context, src int) ([]float64, error) {
 	return ix.fb.ssspCtx(ctx, ix.fb.g, src)
 }
 
-func (ix *Index) ssspCtxGuard(ctx context.Context, src int) (dist []float64, err error) {
-	defer func() {
-		if r := recover(); r != nil {
-			dist, err = nil, newPanicError("sssp", r)
-		}
-	}()
-	return ix.eng.SSSPContext(ctx, src, nil)
-}
-
 // Sources computes SSSP from many sources, parallelized over sources.
+//
+// Deprecated: use SourcesContext — the context-taking methods are the
+// canonical query surface; Sources is a thin context.Background() wrapper
+// kept for existing callers.
 func (ix *Index) Sources(srcs []int) [][]float64 {
-	if ix.primary() {
-		if rows, ok := ix.sourcesGuard(srcs); ok {
-			return rows
-		}
-	}
-	rows, _ := ix.fb.sources(nil, srcs)
-	return rows
+	return mustQuery(ix.SourcesContext(context.Background(), srcs))
 }
 
-func (ix *Index) sourcesGuard(srcs []int) (rows [][]float64, ok bool) {
-	ok = true
-	defer ix.recoverQuery("sources", &ok)
-	return ix.eng.Sources(srcs, nil), ok
-}
-
-// SourcesContext is Sources with cooperative cancellation; all per-source
-// workers wind down within one phase of a cancellation.
+// SourcesContext computes SSSP from many sources, parallelized over
+// sources, with cooperative cancellation; all per-source workers wind down
+// within one phase of a cancellation.
 func (ix *Index) SourcesContext(ctx context.Context, srcs []int) ([][]float64, error) {
 	if ix.primary() {
-		rows, err := ix.sourcesCtxGuard(ctx, srcs)
+		rows, err := runGuarded("sources", func() ([][]float64, error) {
+			return ix.eng.SourcesContext(ctx, srcs, nil)
+		})
 		if err == nil || !ix.fallbackFor(err) {
 			return rows, err
 		}
 	}
 	return ix.fb.sources(ctx, srcs)
-}
-
-func (ix *Index) sourcesCtxGuard(ctx context.Context, srcs []int) (rows [][]float64, err error) {
-	defer func() {
-		if r := recover(); r != nil {
-			rows, err = nil, newPanicError("sources", r)
-		}
-	}()
-	return ix.eng.SourcesContext(ctx, srcs, nil)
 }
 
 // SourcesBatched computes SSSP from many sources with one shared edge sweep
 // per phase (cache-friendly for moderate batch sizes); results equal
 // Sources.
+//
+// Deprecated: use SourcesBatchedContext — the context-taking methods are
+// the canonical query surface; SourcesBatched is a thin
+// context.Background() wrapper kept for existing callers.
 func (ix *Index) SourcesBatched(srcs []int) [][]float64 {
-	if ix.primary() {
-		if rows, ok := ix.sourcesBatchedGuard(srcs); ok {
-			return rows
-		}
-	}
-	rows, _ := ix.fb.sources(nil, srcs)
-	return rows
+	return mustQuery(ix.SourcesBatchedContext(context.Background(), srcs))
 }
 
-func (ix *Index) sourcesBatchedGuard(srcs []int) (rows [][]float64, ok bool) {
-	ok = true
-	defer ix.recoverQuery("sources", &ok)
-	return ix.eng.SourcesBatched(srcs, nil), ok
-}
-
-// SourcesBatchedContext is SourcesBatched with cooperative cancellation
-// (ctx polled between the shared phase sweeps).
+// SourcesBatchedContext computes SSSP from many sources with one shared
+// edge sweep per phase (cache-friendly for moderate batch sizes) and
+// cooperative cancellation (ctx polled between the shared phase sweeps);
+// results equal SourcesContext.
 func (ix *Index) SourcesBatchedContext(ctx context.Context, srcs []int) ([][]float64, error) {
 	if ix.primary() {
-		rows, err := ix.sourcesBatchedCtxGuard(ctx, srcs)
+		rows, err := runGuarded("sources", func() ([][]float64, error) {
+			return ix.eng.SourcesBatchedContext(ctx, srcs, nil)
+		})
 		if err == nil || !ix.fallbackFor(err) {
 			return rows, err
 		}
 	}
 	return ix.fb.sources(ctx, srcs)
-}
-
-func (ix *Index) sourcesBatchedCtxGuard(ctx context.Context, srcs []int) (rows [][]float64, err error) {
-	defer func() {
-		if r := recover(); r != nil {
-			rows, err = nil, newPanicError("sources", r)
-		}
-	}()
-	return ix.eng.SourcesBatchedContext(ctx, srcs, nil)
 }
 
 // Dist returns the distance from u to v. When the pair oracle has been
@@ -786,31 +802,28 @@ func (ix *Index) Dist(u, v int) float64 {
 	if o := ix.oracle.Load(); o != nil {
 		return o.Dist(u, v)
 	}
-	if ix.primary() {
-		if dist, ok := ix.ssspGuard("dist", u); ok {
-			return dist[v]
-		}
-	}
-	return ix.fb.sssp(ix.fb.g, u)[v]
+	return mustQuery(ix.SSSPContext(context.Background(), u))[v]
 }
 
 // SSSPTree returns distances plus a shortest-path tree in the original
 // graph: parent[v] is the predecessor of v on a minimum-weight src→v path
 // (parent[src] = src; -1 for unreachable vertices).
 func (ix *Index) SSSPTree(src int) (dist []float64, parent []int) {
+	type tree struct {
+		dist   []float64
+		parent []int
+	}
 	if ix.primary() {
-		if d, p, ok := ix.ssspTreeGuard(src); ok {
-			return d, p
+		out, err := runGuarded("sssptree", func() (tree, error) {
+			d, p := ix.eng.SSSPTree(src, nil)
+			return tree{d, p}, nil
+		})
+		if err == nil || !ix.fallbackFor(err) {
+			t := mustQuery(out, err)
+			return t.dist, t.parent
 		}
 	}
 	return ix.fb.ssspTree(src)
-}
-
-func (ix *Index) ssspTreeGuard(src int) (dist []float64, parent []int, ok bool) {
-	ok = true
-	defer ix.recoverQuery("sssptree", &ok)
-	dist, parent = ix.eng.SSSPTree(src, nil)
-	return dist, parent, ok
 }
 
 // Path returns a minimum-weight path from src to dst as a vertex sequence,
@@ -830,27 +843,20 @@ func (ix *Index) Path(src, dst int) (path []int, w float64, ok bool) {
 // block on the one run and share its result — or its error).
 func (ix *Index) Reachable(src int) ([]bool, error) {
 	if ix.primary() {
-		set, err := ix.reachGuard(src)
+		set, err := runGuarded("reachable", func() ([]bool, error) {
+			ix.reachOnce.Do(func() {
+				ix.reachEng, ix.reachErr = reach.NewEngine(ix.eng.Graph(), ix.eng.Tree(), ix.ex, nil)
+			})
+			if ix.reachErr != nil {
+				return nil, ix.reachErr
+			}
+			return ix.reachEng.From(src, nil), nil
+		})
 		if err == nil || !ix.fallbackFor(err) {
 			return set, err
 		}
 	}
 	return ix.fb.reachable(src), nil
-}
-
-func (ix *Index) reachGuard(src int) (set []bool, err error) {
-	defer func() {
-		if r := recover(); r != nil {
-			set, err = nil, newPanicError("reachable", r)
-		}
-	}()
-	ix.reachOnce.Do(func() {
-		ix.reachEng, ix.reachErr = reach.NewEngine(ix.eng.Graph(), ix.eng.Tree(), ix.ex, nil)
-	})
-	if ix.reachErr != nil {
-		return nil, ix.reachErr
-	}
-	return ix.reachEng.From(src, nil), nil
 }
 
 // Oracle is a compact all-pairs distance representation: O(n^{1+μ}) space,
@@ -898,46 +904,35 @@ func (o *Oracle) Pairs(pairs [][2]int) []float64 { return o.o.Pairs(pairs, nil, 
 // LabelEntries reports the total hub-label storage (O(n^{1+μ}) entries).
 func (o *Oracle) LabelEntries() int { return o.o.LabelSize() }
 
-// DistTo returns, for every vertex u, the distance FROM u TO dst. It runs
-// one query on the reversed graph; the decomposition tree is reused as-is
-// because it depends only on the undirected skeleton (paper comment (iv)),
-// which edge reversal preserves. The reverse engine is preprocessed exactly
-// once on first use (concurrent first callers block on the one run).
+// DistTo returns, for every vertex u, the distance FROM u TO dst.
+//
+// Deprecated: use DistToContext — the context-taking methods are the
+// canonical query surface; DistTo is a thin context.Background() wrapper
+// kept for existing callers.
 func (ix *Index) DistTo(dst int) ([]float64, error) {
-	if ix.primary() {
-		dist, err := ix.distToGuard(nil, dst)
-		if err == nil || !ix.fallbackFor(err) {
-			return dist, err
-		}
-	}
-	return ix.fb.distTo(nil, dst)
+	return ix.DistToContext(context.Background(), dst)
 }
 
-// DistToContext is DistTo with cooperative cancellation of the reverse
-// query (the one-time reverse preprocessing is not interrupted).
+// DistToContext returns, for every vertex u, the distance FROM u TO dst,
+// with cooperative cancellation of the reverse query. It runs one query on
+// the reversed graph; the decomposition tree is reused as-is because it
+// depends only on the undirected skeleton (paper comment (iv)), which edge
+// reversal preserves. The reverse engine is preprocessed exactly once on
+// first use (concurrent first callers block on the one run; the one-time
+// preprocessing itself is not interrupted by ctx).
 func (ix *Index) DistToContext(ctx context.Context, dst int) ([]float64, error) {
 	if ix.primary() {
-		dist, err := ix.distToGuard(ctx, dst)
+		dist, err := runGuarded("distto", func() ([]float64, error) {
+			if err := ix.reverseEngine(); err != nil {
+				return nil, err
+			}
+			return ix.revEng.SSSPContext(ctx, dst, nil)
+		})
 		if err == nil || !ix.fallbackFor(err) {
 			return dist, err
 		}
 	}
 	return ix.fb.distTo(ctx, dst)
-}
-
-func (ix *Index) distToGuard(ctx context.Context, dst int) (dist []float64, err error) {
-	defer func() {
-		if r := recover(); r != nil {
-			dist, err = nil, newPanicError("distto", r)
-		}
-	}()
-	if err := ix.reverseEngine(); err != nil {
-		return nil, err
-	}
-	if ctx == nil {
-		return ix.revEng.SSSP(dst, nil), nil
-	}
-	return ix.revEng.SSSPContext(ctx, dst, nil)
 }
 
 func (ix *Index) reverseEngine() error {
@@ -953,8 +948,21 @@ func (ix *Index) reverseEngine() error {
 // separator decomposition — the paper's comment (iv): the decomposition
 // "needs to be computed only once for a group of instances which differ in
 // the weights and direction on edges". Only the E+ construction reruns.
-// Returns an error if g's skeleton differs from the indexed graph's.
+// Returns an error if g's skeleton differs from the indexed graph's. It is
+// WithWeightsContext with a background context; for rebuild-and-swap
+// without downtime, see Manager.
 func (ix *Index) WithWeights(g *Graph) (*Index, error) {
+	return ix.WithWeightsContext(context.Background(), g)
+}
+
+// WithWeightsContext is WithWeights with cooperative cancellation of the
+// E+ reconstruction (ctx polled at the augmentation's outer-loop
+// boundaries, like BuildContext). A cancelled rebuild returns
+// (nil, ctx.Err()) and leaves the receiver untouched.
+func (ix *Index) WithWeightsContext(ctx context.Context, g *Graph) (*Index, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if !ix.primary() {
 		return nil, fmt.Errorf("%w: WithWeights needs the separator decomposition", ErrDegraded)
 	}
@@ -974,7 +982,7 @@ func (ix *Index) WithWeights(g *Graph) (*Index, error) {
 			return nil, err
 		}
 	}
-	eng, err := core.NewEngine(dg, ix.eng.Tree(), core.Config{Ex: ix.ex, Algorithm: ix.alg})
+	eng, err := core.NewEngine(dg, ix.eng.Tree(), core.Config{Ex: ix.ex, Algorithm: ix.alg, Ctx: ctx})
 	if err != nil {
 		if errors.Is(err, augment.ErrNegativeCycle) {
 			return nil, fmt.Errorf("%w: %v", ErrNegativeCycle, err)

@@ -66,8 +66,15 @@ type ServerOptions struct {
 // request in it has gone away. A panic during a wave is recovered by the
 // dispatcher and answered as a *PanicError — the server and the shared
 // Index keep serving.
+//
+// The server serves through a Manager: each wave pins the current epoch's
+// index for its duration, so Reweight (or Manager.Reweight) can hot-swap a
+// reweighted index underneath live traffic with zero downtime — in-flight
+// waves drain on the epoch they started on, new waves route to the new
+// epoch (see Manager).
 type Server struct {
-	ix           *Index
+	mgr          *Manager
+	n            int // skeleton vertex count; constant across epoch swaps
 	maxBatch     int
 	maxInFlight  int
 	queueTimeout time.Duration
@@ -116,8 +123,10 @@ type ssspResp struct {
 	err  error
 }
 
-// NewServer starts a serving loop over ix. The caller should Close the
-// server when done to release its dispatcher goroutine.
+// NewServer starts a serving loop over ix, wrapping it in a new Manager
+// (reachable via Manager) so the index can be hot-swapped with Reweight.
+// The caller should Close the server when done to release its dispatcher
+// goroutine.
 func NewServer(ix *Index, opt *ServerOptions) (*Server, error) {
 	s, err := newServer(ix, opt)
 	if err != nil {
@@ -155,8 +164,10 @@ func newServer(ix *Index, opt *ServerOptions) (*Server, error) {
 		tel = opt.Telemetry
 		logger = opt.Logger
 	}
+	mgrOpt := &ManagerOptions{Telemetry: tel, Logger: logger, Inject: inj}
 	s := &Server{
-		ix:           ix,
+		mgr:          NewManager(ix, mgrOpt),
+		n:            ix.g.N(),
 		maxBatch:     maxBatch,
 		maxInFlight:  maxInFlight,
 		queueTimeout: queueTimeout,
@@ -219,7 +230,7 @@ func (s *Server) SSSP(ctx context.Context, src int) ([]float64, error) {
 		s.nRejected.Add(1)
 		s.rejected.Inc()
 		if s.tel != nil {
-			s.tel.recordShed(src)
+			s.tel.recordShed(src, s.mgr.Epoch())
 		}
 		return nil, ErrServerOverloaded
 	}
@@ -237,14 +248,17 @@ func (s *Server) SSSP(ctx context.Context, src int) ([]float64, error) {
 // Dist returns the u→v distance. When the index's pair oracle has been
 // built it answers directly from the hub labels (no queueing); otherwise
 // it runs one SSSP request through the batching path and picks out v.
+// Both endpoints are validated before any work is enqueued; an
+// out-of-range endpoint fails fast with an error wrapping ErrBadOptions
+// that names which endpoint (source or destination) is bad.
 func (s *Server) Dist(ctx context.Context, u, v int) (float64, error) {
-	if err := s.checkVertex(v); err != nil {
+	if err := s.checkVertexRole(u, "source"); err != nil {
 		return 0, err
 	}
-	if o := s.ix.oracle.Load(); o != nil {
-		if err := s.checkVertex(u); err != nil {
-			return 0, err
-		}
+	if err := s.checkVertexRole(v, "destination"); err != nil {
+		return 0, err
+	}
+	if o := s.mgr.Index().oracle.Load(); o != nil {
 		return o.Dist(u, v), nil
 	}
 	dist, err := s.SSSP(ctx, u)
@@ -252,6 +266,17 @@ func (s *Server) Dist(ctx context.Context, u, v int) (float64, error) {
 		return 0, err
 	}
 	return dist[v], nil
+}
+
+// Manager returns the epoch lifecycle manager the server serves through.
+func (s *Server) Manager() *Manager { return s.mgr }
+
+// Reweight hot-swaps the serving index for one rebuilt against g — the
+// same undirected skeleton with new weights — with zero downtime; it is
+// shorthand for Manager().Reweight. See Manager.Reweight for the
+// single-flight, cancellation, and failure-isolation semantics.
+func (s *Server) Reweight(ctx context.Context, g *Graph) (uint64, error) {
+	return s.mgr.Reweight(ctx, g)
 }
 
 // ServerHealth is a point-in-time snapshot of a Server's serving state, for
@@ -268,6 +293,11 @@ type ServerHealth struct {
 	// Degraded reports whether the underlying Index serves from the
 	// baseline fallback engine (see Index.Degraded).
 	Degraded bool `json:"degraded"`
+	// Epoch is the generation tag of the index currently serving queries;
+	// it advances by one on every completed hot-swap (see Manager).
+	Epoch uint64 `json:"epoch"`
+	// Rebuilding reports whether a reweighting rebuild is in flight.
+	Rebuilding bool `json:"rebuilding"`
 	// QueueDepth is the number of requests currently queued, and
 	// MaxInFlight/MaxBatch the configured limits.
 	QueueDepth  int `json:"queue_depth"`
@@ -289,8 +319,8 @@ type ServerHealth struct {
 // String renders the snapshot as one "key=value" line for logs and CLIs.
 func (h ServerHealth) String() string {
 	return fmt.Sprintf(
-		"closed=%v degraded=%v queue=%d/%d maxBatch=%d requests=%d rejected=%d cancelled=%d timedout=%d waves=%d panics=%d",
-		h.Closed, h.Degraded, h.QueueDepth, h.MaxInFlight, h.MaxBatch,
+		"closed=%v degraded=%v epoch=%d rebuilding=%v queue=%d/%d maxBatch=%d requests=%d rejected=%d cancelled=%d timedout=%d waves=%d panics=%d",
+		h.Closed, h.Degraded, h.Epoch, h.Rebuilding, h.QueueDepth, h.MaxInFlight, h.MaxBatch,
 		h.Requests, h.Rejected, h.Cancelled, h.TimedOut, h.Waves, h.Panics)
 }
 
@@ -303,7 +333,9 @@ func (s *Server) Healthz() ServerHealth {
 	s.mu.Unlock()
 	return ServerHealth{
 		Closed:      closed,
-		Degraded:    s.ix.Degraded(),
+		Degraded:    s.mgr.Index().Degraded(),
+		Epoch:       s.mgr.Epoch(),
+		Rebuilding:  s.mgr.Rebuilding(),
 		QueueDepth:  depth,
 		MaxInFlight: s.maxInFlight,
 		MaxBatch:    s.maxBatch,
@@ -330,8 +362,17 @@ func (s *Server) Close() error {
 }
 
 func (s *Server) checkVertex(v int) error {
-	if n := s.ix.g.N(); v < 0 || v >= n {
-		return fmt.Errorf("%w: vertex %d out of range [0,%d)", ErrBadOptions, v, n)
+	if v < 0 || v >= s.n {
+		return fmt.Errorf("%w: vertex %d out of range [0,%d)", ErrBadOptions, v, s.n)
+	}
+	return nil
+}
+
+// checkVertexRole is checkVertex with the endpoint's role ("source",
+// "destination") in the error, for two-endpoint entry points.
+func (s *Server) checkVertexRole(v int, role string) error {
+	if v < 0 || v >= s.n {
+		return fmt.Errorf("%w: %s vertex %d out of range [0,%d)", ErrBadOptions, role, v, s.n)
 	}
 	return nil
 }
@@ -386,17 +427,24 @@ func (s *Server) gather(batch []ssspReq) []ssspReq {
 // wave runs under a panic guard — a panic answers every member with a
 // *PanicError and the dispatcher moves on to the next wave.
 //
+// The wave pins the serving epoch for its whole duration: the epoch's
+// index cannot be released by a concurrent Reweight swap until the wave's
+// release runs, and every request in one wave is served by — and, with
+// Telemetry, attributed to — exactly one epoch.
+//
 // With Telemetry attached, each decided request records its outcome and
 // its latency phase breakdown — queue wait (admission → wave start) and
 // the wave's shared compute time — plus a flight-recorder event; without
 // it this function performs no clock reads and no extra work.
 func (s *Server) serveWave(batch []ssspReq) {
+	ix, epoch, release := s.mgr.Acquire()
+	defer release()
 	instr := s.tel != nil || s.logger != nil
 	var waveStart time.Time
 	var degraded bool
 	if instr {
 		waveStart = time.Now()
-		degraded = s.ix.Degraded()
+		degraded = ix.Degraded()
 	}
 	defer func() {
 		if r := recover(); r != nil {
@@ -407,7 +455,7 @@ func (s *Server) serveWave(batch []ssspReq) {
 			s.panics.Inc()
 			pe := newPanicError("serve", r)
 			if s.tel != nil {
-				s.tel.recordQuery(live.OutcomePanic, -1, 0, 0, 0, len(batch), degraded)
+				s.tel.recordQuery(live.OutcomePanic, -1, 0, 0, 0, len(batch), epoch, degraded)
 			}
 			if s.logger != nil {
 				s.logger.Error("wave delivery panicked", "batch", len(batch), "err", pe)
@@ -434,7 +482,7 @@ func (s *Server) serveWave(batch []ssspReq) {
 				s.cancelled.Inc()
 			}
 			if s.tel != nil {
-				s.tel.recordQuery(out, r.src, 0, waveStart.UnixNano()-r.enq, 0, 0, degraded)
+				s.tel.recordQuery(out, r.src, 0, waveStart.UnixNano()-r.enq, 0, 0, epoch, degraded)
 			}
 			r.resc <- ssspResp{err: cause}
 			continue
@@ -454,7 +502,7 @@ func (s *Server) serveWave(batch []ssspReq) {
 	if instr {
 		t0 = time.Now()
 	}
-	rows, err := s.runWave(ctx, srcs)
+	rows, err := s.runWave(ctx, ix, srcs)
 	var computeNanos int64
 	if instr {
 		computeNanos = time.Since(t0).Nanoseconds()
@@ -490,7 +538,7 @@ func (s *Server) serveWave(batch []ssspReq) {
 				}
 			}
 			if s.tel != nil {
-				s.tel.recordQuery(out, r.src, waveID, waveStart.UnixNano()-r.enq, computeNanos, len(alive), degraded)
+				s.tel.recordQuery(out, r.src, waveID, waveStart.UnixNano()-r.enq, computeNanos, len(alive), epoch, degraded)
 			}
 			r.resc <- resp
 		}
@@ -501,23 +549,24 @@ func (s *Server) serveWave(batch []ssspReq) {
 	s.waveSize.Observe(float64(len(alive)))
 	if s.tel != nil {
 		for _, r := range alive {
-			s.tel.recordQuery(live.OutcomeOK, r.src, waveID, waveStart.UnixNano()-r.enq, computeNanos, len(alive), degraded)
+			s.tel.recordQuery(live.OutcomeOK, r.src, waveID, waveStart.UnixNano()-r.enq, computeNanos, len(alive), epoch, degraded)
 		}
-		s.tel.recordWave(waveID, len(alive), computeNanos, degraded)
+		s.tel.recordWave(waveID, len(alive), computeNanos, epoch, degraded)
 	}
 	if s.logger != nil {
-		s.logger.Debug("wave served", "wave", waveID, "size", len(alive), "compute", time.Duration(computeNanos))
+		s.logger.Debug("wave served", "wave", waveID, "size", len(alive), "epoch", epoch, "compute", time.Duration(computeNanos))
 	}
 	for i, r := range alive {
 		r.resc <- ssspResp{dist: rows[i]}
 	}
 }
 
-// runWave executes one batched query under the dispatcher's panic guard:
-// an injected or organic panic comes back as a *PanicError instead of
-// killing the dispatcher (the Index's own FallbackPolicy, if any, has
-// already had its chance to absorb it).
-func (s *Server) runWave(ctx context.Context, srcs []int) (rows [][]float64, err error) {
+// runWave executes one batched query — on the epoch-pinned index the wave
+// acquired — under the dispatcher's panic guard: an injected or organic
+// panic comes back as a *PanicError instead of killing the dispatcher (the
+// Index's own FallbackPolicy, if any, has already had its chance to absorb
+// it).
+func (s *Server) runWave(ctx context.Context, ix *Index, srcs []int) (rows [][]float64, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			rows, err = nil, newPanicError("serve", r)
@@ -526,7 +575,7 @@ func (s *Server) runWave(ctx context.Context, srcs []int) (rows [][]float64, err
 	if s.inj != nil {
 		s.inj.Fire(faultinject.SiteServerWave)
 	}
-	return s.ix.SourcesBatchedContext(ctx, srcs)
+	return ix.SourcesBatchedContext(ctx, srcs)
 }
 
 // waveContext returns a context that is cancelled once EVERY member's

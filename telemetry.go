@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"sync"
+	"time"
 
 	"sepsp/internal/obs/live"
 )
@@ -50,9 +51,14 @@ type Telemetry struct {
 	fbEngaged *live.Counter
 	fbQueries *live.Counter
 
+	// Index-lifecycle families, driven by Manager reweighting rebuilds.
+	swapsTotal   *live.Counter
+	rebuildFails *live.Counter
+
 	queueWait   *live.Histogram // seconds queued: admission → wave start
 	computeTime *live.Histogram // seconds of shared wave compute
 	waveSize    *live.Histogram // live requests per executed wave
+	rebuildTime *live.Histogram // seconds per reweighting rebuild attempt
 
 	mu      sync.Mutex
 	servers []*Server
@@ -87,6 +93,12 @@ func NewTelemetry(opt *TelemetryOptions) *Telemetry {
 		"Degradation causes observed by the baseline fallback engine.", "")
 	t.fbQueries = reg.Counter("sepsp_fallback_queries_total",
 		"Queries answered by the baseline fallback engine.", "")
+	t.swapsTotal = reg.Counter("sepsp_index_swaps_total",
+		"Completed epoch hot-swaps (successful reweighting rebuilds).", "")
+	t.rebuildFails = reg.Counter("sepsp_index_rebuild_failures_total",
+		"Reweighting rebuilds that failed or panicked (old epoch kept serving).", "")
+	t.rebuildTime = reg.Histogram("sepsp_index_rebuild_duration_seconds",
+		"Seconds one reweighting rebuild attempt took, successful or not.", "")
 	t.queueWait = reg.Histogram("sepsp_server_queue_wait_seconds",
 		"Seconds a request spent queued, from admission to its wave starting.", "")
 	t.computeTime = reg.Histogram("sepsp_server_compute_seconds",
@@ -100,15 +112,17 @@ func NewTelemetry(opt *TelemetryOptions) *Telemetry {
 // executor's per-worker busy gauges and the fallback engine's live
 // counters) into the registry. Called by NewServer.
 func (t *Telemetry) attach(s *Server) {
+	ix := s.mgr.Index()
 	t.mu.Lock()
 	sid := len(t.servers)
 	t.servers = append(t.servers, s)
-	ixid, seen := t.indexes[s.ix]
+	ixid, seen := t.indexes[ix]
 	if !seen {
 		ixid = len(t.indexes)
-		t.indexes[s.ix] = ixid
+		t.indexes[ix] = ixid
 	}
 	t.mu.Unlock()
+	s.mgr.setTelemetry(t)
 
 	slbl := fmt.Sprintf(`server="%d"`, sid)
 	t.reg.GaugeFunc("sepsp_server_queue_depth",
@@ -120,7 +134,18 @@ func (t *Telemetry) attach(s *Server) {
 	t.reg.GaugeFunc("sepsp_server_degraded",
 		"1 while the index serves from the baseline fallback engine.", slbl,
 		func() float64 {
-			if s.ix.Degraded() {
+			if s.mgr.Index().Degraded() {
+				return 1
+			}
+			return 0
+		})
+	t.reg.GaugeFunc("sepsp_index_epoch",
+		"Generation tag of the epoch currently serving queries.", slbl,
+		func() float64 { return float64(s.mgr.Epoch()) })
+	t.reg.GaugeFunc("sepsp_index_rebuilding",
+		"1 while a reweighting rebuild is in flight.", slbl,
+		func() float64 {
+			if s.mgr.Rebuilding() {
 				return 1
 			}
 			return 0
@@ -128,7 +153,7 @@ func (t *Telemetry) attach(s *Server) {
 	if seen {
 		return
 	}
-	ex := s.ix.ex
+	ex := ix.ex
 	ilbl := fmt.Sprintf(`index="%d"`, ixid)
 	for w := 0; w < ex.P(); w++ {
 		w := w
@@ -140,15 +165,38 @@ func (t *Telemetry) attach(s *Server) {
 	t.reg.GaugeFunc("sepsp_exec_load_imbalance",
 		"Max/mean busy iterations across the executor's workers (1 = balanced).", ilbl,
 		func() float64 { _, _, imb := ex.LoadStats(); return imb })
-	if s.ix.fb != nil {
-		s.ix.fb.setLiveCounters(t.fbEngaged, t.fbQueries)
+	if ix.fb != nil {
+		ix.fb.setLiveCounters(t.fbEngaged, t.fbQueries)
 	}
+}
+
+// recordRebuild records one finished reweighting rebuild attempt: the
+// duration histogram, the swap or failure counter, and a KindSwap
+// flight-recorder event tagged with the new (or, on failure, the retained)
+// epoch.
+func (t *Telemetry) recordRebuild(epoch uint64, elapsed time.Duration, swapped bool) {
+	t.rebuildTime.Observe(elapsed.Seconds())
+	out := live.OutcomeOK
+	if swapped {
+		t.swapsTotal.Inc()
+	} else {
+		t.rebuildFails.Inc()
+		out = live.OutcomeError
+	}
+	t.rec.Record(live.Event{
+		Time:         live.Now(),
+		Kind:         live.KindSwap,
+		Outcome:      out,
+		Source:       -1,
+		ComputeNanos: elapsed.Nanoseconds(),
+		Epoch:        epoch,
+	})
 }
 
 // recordQuery records one decided request: outcome counter, phase
 // histograms, and a flight-recorder event (KindQuery on success,
-// KindFailure otherwise).
-func (t *Telemetry) recordQuery(out live.Outcome, src int, wave int64, queueNanos, computeNanos int64, batch int, degraded bool) {
+// KindFailure otherwise) tagged with the epoch that served it.
+func (t *Telemetry) recordQuery(out live.Outcome, src int, wave int64, queueNanos, computeNanos int64, batch int, epoch uint64, degraded bool) {
 	t.queries[out].Inc()
 	if degraded {
 		t.degradedQ.Inc()
@@ -170,12 +218,13 @@ func (t *Telemetry) recordQuery(out live.Outcome, src int, wave int64, queueNano
 		Batch:        int32(batch),
 		QueueNanos:   queueNanos,
 		ComputeNanos: computeNanos,
+		Epoch:        epoch,
 		Degraded:     degraded,
 	})
 }
 
 // recordWave records one executed coalesced wave.
-func (t *Telemetry) recordWave(wave int64, batch int, computeNanos int64, degraded bool) {
+func (t *Telemetry) recordWave(wave int64, batch int, computeNanos int64, epoch uint64, degraded bool) {
 	t.waves.Inc()
 	t.waveSize.Observe(float64(batch))
 	t.rec.Record(live.Event{
@@ -186,19 +235,21 @@ func (t *Telemetry) recordWave(wave int64, batch int, computeNanos int64, degrad
 		Wave:         wave,
 		Batch:        int32(batch),
 		ComputeNanos: computeNanos,
+		Epoch:        epoch,
 		Degraded:     degraded,
 	})
 }
 
 // recordShed records a request refused at admission; it never queued, so
 // only the outcome counter and the flight recorder see it.
-func (t *Telemetry) recordShed(src int) {
+func (t *Telemetry) recordShed(src int, epoch uint64) {
 	t.queries[live.OutcomeShed].Inc()
 	t.rec.Record(live.Event{
 		Time:    live.Now(),
 		Kind:    live.KindFailure,
 		Outcome: live.OutcomeShed,
 		Source:  int32(src),
+		Epoch:   epoch,
 	})
 }
 

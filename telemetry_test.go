@@ -258,6 +258,8 @@ func TestServerHealthGolden(t *testing.T) {
 	h := ServerHealth{
 		Closed:      false,
 		Degraded:    true,
+		Epoch:       42,
+		Rebuilding:  true,
 		QueueDepth:  3,
 		MaxInFlight: 128,
 		MaxBatch:    16,
@@ -281,7 +283,7 @@ func TestServerHealthGolden(t *testing.T) {
 	if !bytes.Equal(got, want) {
 		t.Fatalf("ServerHealth JSON drifted from golden file %s:\n got: %s\nwant: %s", golden, got, want)
 	}
-	wantStr := "closed=false degraded=true queue=3/128 maxBatch=16 requests=1000 rejected=7 cancelled=2 timedout=1 waves=90 panics=1"
+	wantStr := "closed=false degraded=true epoch=42 rebuilding=true queue=3/128 maxBatch=16 requests=1000 rejected=7 cancelled=2 timedout=1 waves=90 panics=1"
 	if s := h.String(); s != wantStr {
 		t.Fatalf("String() = %q\n     want %q", s, wantStr)
 	}
