@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race chaos serve-drill reweight-drill api-check api-snapshot check bench bench-build bench-build-baseline
+.PHONY: build test vet race chaos serve-drill reweight-drill overload-drill api-check api-snapshot check bench bench-build bench-build-baseline
 
 build:
 	$(GO) build ./...
@@ -39,6 +39,16 @@ serve-drill:
 # lifecycle and epochs").
 reweight-drill:
 	$(GO) test -race -run ServeReweight -count=1 -v ./cmd/sepsp
+
+# overload-drill runs the adaptive overload-control drill: the real
+# `serve -overload` command scraped over HTTP, asserting the gradient
+# limiter converges under 4x sustained overload with injected wave latency,
+# interactive queries are never browned out while batch queries are
+# answered exactly from the fallback engine, and the rebuild circuit
+# breaker opens under injected failures then recovers via a half-open
+# probe (see DESIGN.md "Overload control").
+overload-drill:
+	$(GO) test -race -run OverloadDrill -count=1 -v ./cmd/sepsp
 
 # api-check gates the public API surface against the committed snapshot
 # (api/sepsp.txt): removals and signature changes are breaking, additions

@@ -18,6 +18,7 @@
 //	serve [-clients C] [-requests R] [-maxbatch B] [-inflight F] [-seed S]
 //	      [-timeout D] [-chaos P] [-chaosseed S] [-listen ADDR] [-linger D]
 //	      [-log-level L] [-reweight FILE] [-reweight-every D]
+//	      [-priority-mix I:B:G] [-overload]
 //	                         drive a synthetic concurrent load through the
 //	                         batching Server and print throughput and wave
 //	                         coalescing statistics (load test). -chaos P
@@ -39,6 +40,18 @@
 //	                         additionally reloads every D (the reweight
 //	                         drill: repeated epoch swaps under live load,
 //	                         visible as the advancing "epoch" in /healthz).
+//	                         -priority-mix I:B:G spreads the load across the
+//	                         interactive/batch/background priority classes
+//	                         by weight. -overload runs the adaptive
+//	                         overload-control drill instead of the plain
+//	                         load: the gradient limiter must converge under
+//	                         4x overload with injected wave latency, shed
+//	                         batch queries must be browned out exactly
+//	                         (never interactive ones), and the rebuild
+//	                         circuit breaker must open under injected
+//	                         failures and recover through a half-open probe;
+//	                         the drill exits non-zero if any phase misses
+//	                         its invariant.
 //
 // Observability flags:
 //
@@ -109,6 +122,8 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		logLevel    = fs.String("log-level", "info", "serve: structured log level on stderr (debug|info|warn|error|off)")
 		reweight    = fs.String("reweight", "", "serve: hot-swap the serving index from this graph file on SIGHUP (zero-downtime reload)")
 		reweightDur = fs.Duration("reweight-every", 0, "serve: with -reweight, also reload on this period (reweight drill; 0 = SIGHUP only)")
+		overload    = fs.Bool("overload", false, "serve: run the adaptive overload-control drill (limiter convergence, priority shedding and brownout, rebuild circuit breaker)")
+		prioMix     = fs.String("priority-mix", "", "serve: interactive:batch:background arrival weights, e.g. 50:40:10 (default all-interactive; -overload defaults to 50:40:10)")
 	)
 	if err := fs.Parse(argv); err != nil {
 		return 2
@@ -167,9 +182,24 @@ func run(argv []string, stdout, stderr io.Writer) int {
 
 		reweight:      *reweight,
 		reweightEvery: *reweightDur,
+		overload:      *overload,
+		priorityMix:   *prioMix,
 	}
 	if cfg.reweightEvery > 0 && cfg.reweight == "" {
 		return fail(fmt.Errorf("-reweight-every needs -reweight FILE"))
+	}
+	if cfg.overload && (cfg.chaos > 0 || cfg.reweight != "") {
+		return fail(fmt.Errorf("-overload is its own drill; it composes with neither -chaos nor -reweight"))
+	}
+	if cfg.priorityMix != "" {
+		if _, err := parsePriorityMix(cfg.priorityMix); err != nil {
+			return fail(err)
+		}
+	}
+	if cmd == "serve" && cfg.overload {
+		// Brownout answers shed batch/background queries exactly from the
+		// baseline fallback engine; the drill needs that engine built in.
+		opt.Fallback = sepsp.FallbackBaseline
 	}
 	var inj *faultinject.Seeded
 	if cmd == "serve" && cfg.chaos > 0 {
@@ -228,7 +258,11 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		// lose the run's metrics). A second signal falls back to the
 		// default handler and kills the process.
 		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-		code = runServe(ctx, w, ix, dg.N(), cfg, inj, ob, stderr)
+		if cfg.overload {
+			code = runOverloadDrill(ctx, w, ix, g, dg.N(), cfg, ob, stderr)
+		} else {
+			code = runServe(ctx, w, ix, dg.N(), cfg, inj, ob, stderr)
+		}
 		stop()
 	} else {
 		code = runCommand(w, ix, dg, cmd, *src, *dst, *srcsFlag, *pairsFlag, stderr)

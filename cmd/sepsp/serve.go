@@ -38,6 +38,9 @@ type serveConfig struct {
 
 	reweight      string        // graph file hot-swapped in on SIGHUP ("" = off)
 	reweightEvery time.Duration // additionally reload on this period (reweight drill)
+
+	overload    bool   // run the adaptive overload-control drill instead of the plain load
+	priorityMix string // I:B:G arrival weights ("" = all interactive)
 }
 
 // readGraph loads a graph file into the builder the public API consumes,
@@ -219,6 +222,13 @@ func runServe(ctx context.Context, w io.Writer, ix *sepsp.Index, n int, cfg serv
 		}()
 	}
 
+	// Priority mix for the synthetic load; "" is all-interactive, which is
+	// also the server's default for unlabelled requests.
+	mix, err := parsePriorityMix(cfg.priorityMix)
+	if err != nil {
+		return fail(err)
+	}
+
 	var served, faulted atomic.Int64
 	var firstErr atomic.Value
 	start := time.Now()
@@ -239,8 +249,9 @@ func runServe(ctx context.Context, w io.Writer, ix *sepsp.Index, n int, cfg serv
 			}
 			for i := 0; i < quota && ctx.Err() == nil; i++ {
 				src := rng.Intn(n)
-				dist, err := sepsp.RetryValue(ctx, retry, func() ([]float64, error) {
-					return srv.SSSP(ctx, src)
+				qctx := sepsp.WithPriority(ctx, mix.draw(rng))
+				dist, err := sepsp.RetryValue(qctx, retry, func() ([]float64, error) {
+					return srv.SSSP(qctx, src)
 				})
 				switch {
 				case err == nil && len(dist) == n:

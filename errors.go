@@ -68,6 +68,21 @@ var (
 	// after the in-flight rebuild completes (or cancel it via its context).
 	ErrRebuildInFlight = errors.New("sepsp: a reweighting rebuild is already in flight")
 
+	// ErrBrownout reports that the server was in brownout mode (shedding
+	// hard enough that low-priority queries are answered degraded from the
+	// baseline engine) but could not produce even a degraded answer — the
+	// index has no fallback engine, the fallback circuit breaker is open,
+	// or the fallback itself failed. It always wraps ErrServerOverloaded,
+	// so existing errors.Is(err, ErrServerOverloaded) retry loops keep
+	// backing off.
+	ErrBrownout = errors.New("sepsp: brownout engaged but no degraded answer available")
+
+	// ErrBreakerOpen reports that a circuit breaker is refusing the
+	// operation: repeated failures latched it open, and it stays open until
+	// the cooldown elapses and a half-open probe succeeds. Retrying before
+	// then fails fast without performing the operation.
+	ErrBreakerOpen = errors.New("sepsp: circuit breaker open")
+
 	// ErrDegraded reports that an operation requires the separator index
 	// but the Index is serving in degraded (baseline fallback) mode — the
 	// decomposition failed to build or failed its invariant checks, so

@@ -1,0 +1,92 @@
+package admission
+
+import "sync"
+
+// BrownoutConfig tunes NewBrownout. The zero value uses the defaults noted
+// on each field.
+type BrownoutConfig struct {
+	// Threshold is the shed-rate EWMA at which brownout engages (default
+	// 0.1: one in ten admission decisions shedding means the server is
+	// past its knee).
+	Threshold float64
+	// ExitThreshold is the rate below which brownout disengages (default
+	// Threshold/2); the gap is hysteresis so the mode does not flap at the
+	// boundary.
+	ExitThreshold float64
+	// Alpha is the EWMA step per admission decision (default 0.05, i.e. a
+	// ~20-decision memory).
+	Alpha float64
+}
+
+func (c BrownoutConfig) withDefaults() BrownoutConfig {
+	if c.Threshold <= 0 {
+		c.Threshold = 0.1
+	}
+	if c.ExitThreshold <= 0 || c.ExitThreshold > c.Threshold {
+		c.ExitThreshold = c.Threshold / 2
+	}
+	if c.Alpha <= 0 || c.Alpha > 1 {
+		c.Alpha = 0.05
+	}
+	return c
+}
+
+// Brownout tracks the recent shed rate and decides when the server should
+// stop refusing low-priority work outright and start answering it degraded
+// instead (the brownout: reduced quality of service rather than none).
+// It is a pure function of the Note call sequence — no clock — with
+// hysteresis between the engage and disengage thresholds. All methods are
+// safe for concurrent use.
+type Brownout struct {
+	cfg BrownoutConfig
+
+	mu      sync.Mutex
+	rate    float64 // EWMA of the shed indicator
+	active  bool
+	entries int64 // times brownout engaged
+}
+
+// NewBrownout returns a detector with no history (inactive, rate 0).
+func NewBrownout(cfg BrownoutConfig) *Brownout {
+	return &Brownout{cfg: cfg.withDefaults()}
+}
+
+// Note records one admission decision: shed is true when the request was
+// refused or evicted, false when it was admitted.
+func (b *Brownout) Note(shed bool) {
+	v := 0.0
+	if shed {
+		v = 1.0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.rate += b.cfg.Alpha * (v - b.rate)
+	switch {
+	case !b.active && b.rate >= b.cfg.Threshold:
+		b.active = true
+		b.entries++
+	case b.active && b.rate < b.cfg.ExitThreshold:
+		b.active = false
+	}
+}
+
+// Active reports whether brownout mode is engaged.
+func (b *Brownout) Active() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.active
+}
+
+// Rate returns the current shed-rate EWMA in [0, 1].
+func (b *Brownout) Rate() float64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.rate
+}
+
+// Entries returns how many times brownout has engaged.
+func (b *Brownout) Entries() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.entries
+}

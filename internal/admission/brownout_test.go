@@ -1,0 +1,57 @@
+package admission
+
+import "testing"
+
+func TestBrownoutEngagesAtThreshold(t *testing.T) {
+	b := NewBrownout(BrownoutConfig{Threshold: 0.5, Alpha: 0.5})
+	if b.Active() {
+		t.Fatal("fresh detector must be inactive")
+	}
+	b.Note(true) // rate = 0.5
+	if !b.Active() {
+		t.Fatalf("rate %.2f >= threshold 0.5, want active", b.Rate())
+	}
+	if got := b.Entries(); got != 1 {
+		t.Fatalf("Entries = %d, want 1", got)
+	}
+}
+
+func TestBrownoutHysteresis(t *testing.T) {
+	b := NewBrownout(BrownoutConfig{Threshold: 0.5, ExitThreshold: 0.25, Alpha: 0.5})
+	b.Note(true) // 0.5: engage
+	if !b.Active() {
+		t.Fatal("want active")
+	}
+	b.Note(false) // 0.25: not strictly below exit threshold
+	if !b.Active() {
+		t.Fatalf("rate %.2f == exit 0.25, hysteresis must hold active", b.Rate())
+	}
+	b.Note(false) // 0.125 < 0.25: disengage
+	if b.Active() {
+		t.Fatalf("rate %.2f < exit 0.25, want inactive", b.Rate())
+	}
+	// Re-engaging counts a second entry.
+	b.Note(true)
+	b.Note(true)
+	if !b.Active() || b.Entries() != 2 {
+		t.Fatalf("active=%v entries=%d, want active with 2 entries", b.Active(), b.Entries())
+	}
+}
+
+func TestBrownoutStaysQuietUnderLightShedding(t *testing.T) {
+	b := NewBrownout(BrownoutConfig{}) // defaults: threshold 0.1, alpha 0.05
+	// 2% shed rate stays well below the 10% knee.
+	for i := 0; i < 500; i++ {
+		b.Note(i%50 == 0)
+	}
+	if b.Active() {
+		t.Fatalf("2%% shed rate (EWMA %.3f) must not engage brownout", b.Rate())
+	}
+}
+
+func TestBrownoutDefaultExitHalvesThreshold(t *testing.T) {
+	cfg := BrownoutConfig{Threshold: 0.2}.withDefaults()
+	if cfg.ExitThreshold != 0.1 {
+		t.Fatalf("default exit threshold = %v, want 0.1", cfg.ExitThreshold)
+	}
+}

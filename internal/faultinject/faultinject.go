@@ -15,6 +15,7 @@ package faultinject
 
 import (
 	"fmt"
+	"sync"
 	"sync/atomic"
 	"time"
 )
@@ -100,6 +101,10 @@ type SiteConfig struct {
 	PanicPerMille  uint32
 	DelayPerMille  uint32
 	CancelPerMille uint32
+	// Delay overrides Config.Delay for this site when positive — e.g. a
+	// long stall at the wave boundary to drive an overload drill while the
+	// rebuild site keeps its short default.
+	Delay time.Duration
 }
 
 // Config configures a seeded injector.
@@ -157,7 +162,11 @@ func (s *Seeded) Fire(site string) Fault {
 	case Panic:
 		panic(&Injected{Site: site, Seq: seq})
 	case Delay:
-		time.Sleep(s.delay)
+		d := s.delay
+		if st.cfg.Delay > 0 {
+			d = st.cfg.Delay
+		}
+		time.Sleep(d)
 	}
 	return f
 }
@@ -189,6 +198,36 @@ func (s *Seeded) Calls(site string) uint64 {
 		return 0
 	}
 	return st.seq.Load()
+}
+
+// Toggle wraps an Injector with per-site runtime switches, so a drill can
+// move between phases (inject wave latency now, rebuild failures later)
+// over one shared injector without rebuilding the call sites' references.
+// Sites start enabled; a disabled site's Fire returns None without
+// consuming a sequence draw from the wrapped injector. Safe for concurrent
+// use.
+type Toggle struct {
+	inner    Injector
+	disabled sync.Map // site name → struct{} while disabled
+}
+
+// NewToggle wraps inner (which must be non-nil) with all sites enabled.
+func NewToggle(inner Injector) *Toggle {
+	return &Toggle{inner: inner}
+}
+
+// Enable re-enables faults at site.
+func (t *Toggle) Enable(site string) { t.disabled.Delete(site) }
+
+// Disable suppresses faults at site until Enable.
+func (t *Toggle) Disable(site string) { t.disabled.Store(site, struct{}{}) }
+
+// Fire implements Injector.
+func (t *Toggle) Fire(site string) Fault {
+	if _, off := t.disabled.Load(site); off {
+		return None
+	}
+	return t.inner.Fire(site)
 }
 
 // decide draws uniformly in [0,1000) from a splitmix64 hash of

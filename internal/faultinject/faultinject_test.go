@@ -95,3 +95,60 @@ func TestDelayFires(t *testing.T) {
 		t.Fatal("delay fault did not sleep")
 	}
 }
+
+func TestPerSiteDelayOverride(t *testing.T) {
+	inj := NewSeeded(Config{
+		Seed:  1,
+		Delay: time.Microsecond, // global default, overridden below
+		Sites: map[string]SiteConfig{"slow": {DelayPerMille: 1000, Delay: 2 * time.Millisecond}},
+	})
+	start := time.Now()
+	if f := inj.Fire("slow"); f != Delay {
+		t.Fatalf("fault = %v, want Delay", f)
+	}
+	if elapsed := time.Since(start); elapsed < 2*time.Millisecond {
+		t.Fatalf("per-site delay override not applied: slept %v, want ≥ 2ms", elapsed)
+	}
+}
+
+func TestToggleSuppressesAndRestores(t *testing.T) {
+	inj := NewSeeded(Config{
+		Seed:  1,
+		Sites: map[string]SiteConfig{"always": {PanicPerMille: 1000}},
+	})
+	tog := NewToggle(inj)
+	tog.Disable("always")
+	if f := tog.Fire("always"); f != None {
+		t.Fatalf("disabled site fired %v", f)
+	}
+	if inj.Calls("always") != 0 {
+		t.Fatal("disabled site consumed a sequence draw from the inner injector")
+	}
+	tog.Enable("always")
+	func() {
+		defer func() {
+			if v := recover(); !IsInjected(v) {
+				t.Fatalf("re-enabled site did not panic (recovered %v)", v)
+			}
+		}()
+		tog.Fire("always")
+	}()
+	if inj.Calls("always") != 1 {
+		t.Fatalf("inner calls = %d, want 1", inj.Calls("always"))
+	}
+}
+
+func TestToggleOtherSitesUnaffected(t *testing.T) {
+	inj := NewSeeded(Config{
+		Seed: 1,
+		Sites: map[string]SiteConfig{
+			"a": {DelayPerMille: 1000},
+			"b": {DelayPerMille: 1000},
+		},
+	})
+	tog := NewToggle(inj)
+	tog.Disable("a")
+	if f := tog.Fire("b"); f != Delay {
+		t.Fatalf("site b fired %v despite only a being disabled", f)
+	}
+}

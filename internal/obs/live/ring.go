@@ -56,6 +56,9 @@ const (
 	OutcomePanic
 	// OutcomeError: any other typed serving error.
 	OutcomeError
+	// OutcomeBrownout: the request was shed from the main queue but answered
+	// degraded from the baseline fallback engine (still exact distances).
+	OutcomeBrownout
 )
 
 // String returns the outcome's wire name.
@@ -73,6 +76,8 @@ func (o Outcome) String() string {
 		return "panic"
 	case OutcomeError:
 		return "error"
+	case OutcomeBrownout:
+		return "brownout"
 	}
 	return "unknown"
 }

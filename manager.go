@@ -8,8 +8,62 @@ import (
 	"sync/atomic"
 	"time"
 
+	"sepsp/internal/admission"
 	"sepsp/internal/faultinject"
 )
+
+// BreakerOptions tunes one circuit breaker in the serving stack (the
+// rebuild breaker on a Manager, the fallback breaker on a Server). The zero
+// value uses the defaults noted on each field — breakers are on by default.
+type BreakerOptions struct {
+	// Disabled turns the breaker off entirely: the guarded operation is
+	// always allowed and failures only latch counters elsewhere.
+	Disabled bool
+	// FailureThreshold is the number of consecutive failures that opens
+	// the breaker (default 3).
+	FailureThreshold int
+	// Cooldown is how long the breaker stays open before admitting a
+	// half-open probe (default 30s).
+	Cooldown time.Duration
+	// ProbeSuccesses is how many consecutive half-open probe successes
+	// close the breaker again (default 1).
+	ProbeSuccesses int
+
+	// now replaces the breaker's clock in tests; nil uses time.Now.
+	now func() time.Time
+}
+
+// build constructs the configured breaker, or nil when disabled.
+func (o BreakerOptions) build() *admission.Breaker {
+	if o.Disabled {
+		return nil
+	}
+	return admission.NewBreaker(admission.BreakerConfig{
+		FailureThreshold: o.FailureThreshold,
+		Cooldown:         o.Cooldown,
+		ProbeSuccesses:   o.ProbeSuccesses,
+		Now:              o.now,
+	})
+}
+
+// BreakerState is a circuit breaker's public state (see Manager.BreakerState
+// and the sepsp_breaker_state metric family, which exports the numeric
+// value).
+type BreakerState int
+
+const (
+	// BreakerClosed: operations flow; failures are counted.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen: operations are refused with ErrBreakerOpen until the
+	// cooldown elapses.
+	BreakerOpen
+	// BreakerHalfOpen: one probe operation is in flight; its outcome
+	// decides between closing and re-opening.
+	BreakerHalfOpen
+)
+
+// String returns the state's wire name ("closed", "open", "half-open").
+func (s BreakerState) String() string { return admission.State(s).String() }
 
 // ManagerOptions configures NewManager. The zero value (or nil) uses the
 // defaults noted on each field.
@@ -27,6 +81,13 @@ type ManagerOptions struct {
 	// Inject, when non-nil, fires the fault-injection harness at the
 	// rebuild boundary (site "manager.rebuild"). Chaos testing only.
 	Inject faultinject.Injector
+	// RebuildBreaker tunes the circuit breaker around reweighting rebuilds:
+	// after FailureThreshold consecutive failed rebuilds the manager stops
+	// attempting them — Reweight fails fast with ErrBreakerOpen — until the
+	// cooldown elapses and one half-open probe rebuild succeeds. On by
+	// default; a cancelled rebuild neither counts as failure nor resolves a
+	// probe.
+	RebuildBreaker BreakerOptions
 }
 
 // epochIndex pairs one *Index with its generation tag and the count of
@@ -85,6 +146,8 @@ type Manager struct {
 	swaps      atomic.Int64 // completed hot-swaps
 	failures   atomic.Int64 // latched failed/panicked rebuilds
 	draining   atomic.Int64 // retired epochs whose waves have not finished
+
+	breaker *admission.Breaker // rebuild circuit breaker; nil when disabled
 }
 
 // NewManager adopts ix as the manager's first serving epoch. An index with
@@ -93,10 +156,23 @@ type Manager struct {
 // tag so epochs stay monotone across restarts.
 func NewManager(ix *Index, opt *ManagerOptions) *Manager {
 	m := &Manager{}
+	var brkOpt BreakerOptions
 	if opt != nil {
 		m.tel.Store(opt.Telemetry)
 		m.logger = opt.Logger
 		m.inj = opt.Inject
+		brkOpt = opt.RebuildBreaker
+	}
+	m.breaker = brkOpt.build()
+	if m.breaker != nil {
+		m.breaker.OnTransition(func(_, to admission.State) {
+			if tel := m.tel.Load(); tel != nil {
+				tel.recordBreakerTransition("rebuild", to)
+			}
+			if m.logger != nil {
+				m.logger.Info("rebuild breaker transition", "to", to.String())
+			}
+		})
 	}
 	ix.epoch.CompareAndSwap(0, 1)
 	e := &epochIndex{ix: ix, id: ix.Epoch()}
@@ -131,6 +207,15 @@ func (m *Manager) RebuildFailures() int64 { return m.failures.Load() }
 
 // Draining returns how many retired epochs still have in-flight waves.
 func (m *Manager) Draining() int64 { return m.draining.Load() }
+
+// BreakerState returns the rebuild circuit breaker's current state.
+// A disabled breaker always reports BreakerClosed.
+func (m *Manager) BreakerState() BreakerState {
+	if m.breaker == nil {
+		return BreakerClosed
+	}
+	return BreakerState(m.breaker.State())
+}
 
 // Acquire pins the current epoch and returns its index, its epoch tag, and
 // a release func. The epoch — even after being swapped out — is not
@@ -184,6 +269,10 @@ func (m *Manager) Reweight(ctx context.Context, g *Graph) (uint64, error) {
 	}
 	defer m.rebuilding.Store(false)
 
+	if m.breaker != nil && !m.breaker.Allow() {
+		return 0, fmt.Errorf("%w: rebuilds suspended after repeated failures", ErrBreakerOpen)
+	}
+
 	old := m.cur.Load()
 	start := time.Now()
 	type result struct {
@@ -212,11 +301,18 @@ func (m *Manager) Reweight(ctx context.Context, g *Graph) (uint64, error) {
 
 	if res.err != nil {
 		if cerr := ctx.Err(); cerr != nil && errors.Is(res.err, cerr) {
-			// Cancelled by the caller: not a failure, nothing latches.
+			// Cancelled by the caller: not a failure, nothing latches, and a
+			// half-open probe is released unresolved.
+			if m.breaker != nil {
+				m.breaker.Cancel()
+			}
 			if m.logger != nil {
 				m.logger.Info("rebuild cancelled", "epoch", old.id, "after", elapsed, "err", res.err)
 			}
 			return 0, res.err
+		}
+		if m.breaker != nil {
+			m.breaker.Failure()
 		}
 		m.failures.Add(1)
 		tel := m.tel.Load()
@@ -230,6 +326,9 @@ func (m *Manager) Reweight(ctx context.Context, g *Graph) (uint64, error) {
 		return 0, fmt.Errorf("%w: %w", ErrRebuildFailed, res.err)
 	}
 
+	if m.breaker != nil {
+		m.breaker.Success()
+	}
 	next := old.id + 1
 	res.ix.epoch.Store(next)
 	tel := m.tel.Load()

@@ -4,6 +4,8 @@ import (
 	"encoding/gob"
 	"fmt"
 	"io"
+	"os"
+	"path/filepath"
 
 	"sepsp/internal/augment"
 	"sepsp/internal/core"
@@ -57,6 +59,57 @@ func (ix *Index) Save(w io.Writer) error {
 		Epoch:     ix.Epoch(),
 	}
 	return gob.NewEncoder(w).Encode(&dto)
+}
+
+// SaveFile persists the index to path crash-safely: the blob is written to
+// a temporary file in path's directory, fsynced, and atomically renamed
+// into place, so a crash mid-save can never leave a torn blob at path — a
+// reader sees either the complete old contents or the complete new ones.
+// The containing directory is fsynced too (best effort) so the rename
+// itself survives a crash.
+func (ix *Index) SaveFile(path string) (err error) {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("sepsp: save %s: %w", path, err)
+	}
+	defer func() {
+		if err != nil {
+			tmp.Close()
+			os.Remove(tmp.Name()) // never leave temp litter on failure
+		}
+	}()
+	if err = ix.Save(tmp); err != nil {
+		return err
+	}
+	if err = tmp.Sync(); err != nil {
+		return fmt.Errorf("sepsp: save %s: %w", path, err)
+	}
+	if err = tmp.Close(); err != nil {
+		return fmt.Errorf("sepsp: save %s: %w", path, err)
+	}
+	if err = os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("sepsp: save %s: %w", path, err)
+	}
+	// Durability of the rename needs the directory entry flushed as well.
+	// Best effort: some platforms/filesystems refuse to fsync a directory,
+	// and the data itself is already safe.
+	if d, derr := os.Open(dir); derr == nil {
+		_ = d.Sync()
+		d.Close()
+	}
+	return nil
+}
+
+// LoadFile reads an index persisted by SaveFile (or Save). See Load for
+// validation and worker semantics.
+func LoadFile(path string, workers int) (*Index, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("sepsp: load %s: %w", path, err)
+	}
+	defer f.Close()
+	return Load(f, workers)
 }
 
 // validate structurally checks a decoded blob BEFORE any of it is indexed

@@ -3,6 +3,8 @@ package sepsp
 import (
 	"bytes"
 	"math"
+	"os"
+	"path/filepath"
 	"testing"
 )
 
@@ -72,5 +74,97 @@ func TestLoadRejectsCorruptTree(t *testing.T) {
 	}
 	if _, err := Load(bytes.NewBuffer(data), 0); err == nil {
 		t.Fatal("corrupt payload accepted")
+	}
+}
+
+func TestSaveFileLoadFileRoundTrip(t *testing.T) {
+	gg, grid := gridGraph(t, 9, 8, 41)
+	ix, err := Build(gg, &Options{Coordinates: grid.Coord})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "index.gob")
+	if err := ix.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadFile(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := ix.Stats(), loaded.Stats()
+	if a.Shortcuts != b.Shortcuts || a.TreeHeight != b.TreeHeight {
+		t.Fatalf("stats differ: %+v vs %+v", a, b)
+	}
+	want, got := ix.SSSP(0), loaded.SSSP(0)
+	for v := range want {
+		if want[v] != got[v] && !(math.IsInf(want[v], 1) && math.IsInf(got[v], 1)) {
+			t.Fatalf("v=%d: %v vs %v", v, got[v], want[v])
+		}
+	}
+	// No temp litter after a successful save: exactly the final file remains.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name() != "index.gob" {
+		names := make([]string, len(entries))
+		for i, e := range entries {
+			names[i] = e.Name()
+		}
+		t.Fatalf("directory not clean after save: %v", names)
+	}
+}
+
+func TestSaveFileReplacesAtomically(t *testing.T) {
+	gg, grid := gridGraph(t, 5, 5, 42)
+	ix, err := Build(gg, &Options{Coordinates: grid.Coord})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "index.gob")
+	// Pre-existing garbage at the target path must be replaced wholesale,
+	// not appended to or partially overwritten.
+	if err := os.WriteFile(path, []byte("stale garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadFile(path, 0); err != nil {
+		t.Fatalf("load after overwrite: %v", err)
+	}
+}
+
+func TestSaveFileFailureLeavesNoLitter(t *testing.T) {
+	gg, grid := gridGraph(t, 5, 5, 42)
+	ix, err := Build(gg, &Options{Coordinates: grid.Coord})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A degraded index refuses to persist; the temp file it opened before
+	// discovering that must be cleaned up.
+	deg := &Index{g: ix.g, ex: ix.ex} // eng nil → degraded → Save fails
+	dir := t.TempDir()
+	if err := deg.SaveFile(filepath.Join(dir, "index.gob")); err == nil {
+		t.Fatal("degraded save succeeded")
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		names := make([]string, len(entries))
+		for i, e := range entries {
+			names[i] = e.Name()
+		}
+		t.Fatalf("failed save left litter: %v", names)
+	}
+}
+
+func TestLoadFileMissing(t *testing.T) {
+	if _, err := LoadFile(filepath.Join(t.TempDir(), "nope.gob"), 0); err == nil {
+		t.Fatal("missing file accepted")
 	}
 }

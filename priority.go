@@ -1,0 +1,62 @@
+package sepsp
+
+import (
+	"context"
+
+	"sepsp/internal/admission"
+)
+
+// Priority classifies a request's importance to the server's admission
+// control. It is carried on the request's context (WithPriority), so it
+// flows through client code, Retry, and the Server entry points without a
+// signature change. Lower values are more important.
+type Priority int
+
+const (
+	// PriorityInteractive is latency-sensitive user-facing traffic: served
+	// first, never answered by brownout, shed only when no lower-priority
+	// work is queued. Requests without an explicit priority default here —
+	// an unannotated caller is assumed to be a user waiting.
+	PriorityInteractive Priority = iota
+	// PriorityBatch is throughput traffic (bulk lookups, analytics) that
+	// tolerates queueing behind interactive work and, under brownout,
+	// a slower exact answer from the baseline engine.
+	PriorityBatch
+	// PriorityBackground is best-effort traffic (prefetchers, cache
+	// warmers): first to be shed or browned out.
+	PriorityBackground
+)
+
+// String returns the priority's wire name, matching the priority="…" label
+// on the sepsp_admission_* metric families.
+func (p Priority) String() string { return p.class().String() }
+
+// class maps the public priority onto the admission package's class,
+// clamping unknown values to best-effort.
+func (p Priority) class() admission.Class {
+	if p < PriorityInteractive || p > PriorityBackground {
+		return admission.Background
+	}
+	return admission.Class(p)
+}
+
+type priorityKey struct{}
+
+// WithPriority returns a context carrying p; Server entry points called
+// with the returned context admit, queue, shed, and brown out the request
+// according to that priority.
+func WithPriority(ctx context.Context, p Priority) context.Context {
+	return context.WithValue(ctx, priorityKey{}, p)
+}
+
+// PriorityOf returns the priority carried by ctx, or PriorityInteractive
+// when none (including a nil ctx) is set.
+func PriorityOf(ctx context.Context) Priority {
+	if ctx == nil {
+		return PriorityInteractive
+	}
+	if p, ok := ctx.Value(priorityKey{}).(Priority); ok {
+		return p
+	}
+	return PriorityInteractive
+}

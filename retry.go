@@ -69,6 +69,11 @@ func Retry(ctx context.Context, opt *RetryOptions, op func() error) error {
 	var err error
 	ceil := base
 	for attempt := 0; ; attempt++ {
+		// A dead context means op would be wasted work (and on the first
+		// attempt, that the caller was cancelled before Retry even started).
+		if ctx != nil && ctx.Err() != nil {
+			return context.Cause(ctx)
+		}
 		if err = op(); !errors.Is(err, ErrServerOverloaded) {
 			return err
 		}
@@ -77,6 +82,18 @@ func Retry(ctx context.Context, opt *RetryOptions, op func() error) error {
 		}
 		tel.recordBackoff()
 		d := time.Duration(rng.Int63n(int64(ceil) + 1))
+		// Never sleep past the context deadline: a backoff that outlives the
+		// caller's budget only delays the inevitable cancellation.
+		if ctx != nil {
+			if deadline, ok := ctx.Deadline(); ok {
+				if remain := time.Until(deadline); remain < d {
+					d = remain
+					if d < 0 {
+						d = 0
+					}
+				}
+			}
+		}
 		if serr := sleep(ctx, d); serr != nil {
 			return serr
 		}

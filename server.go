@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"sepsp/internal/admission"
 	"sepsp/internal/faultinject"
 	"sepsp/internal/obs"
 	"sepsp/internal/obs/live"
@@ -22,16 +23,24 @@ type ServerOptions struct {
 	// SourcesBatched wave (default 16). Larger waves amortize the shared
 	// per-phase edge sweep over more sources but cost k×n working memory.
 	MaxBatch int
-	// MaxInFlight caps the number of admitted requests queued or being
-	// served (default 1024). Requests beyond the cap are refused
-	// immediately with ErrServerOverloaded instead of growing the queue
-	// without bound.
+	// MaxInFlight is the hard ceiling on admitted requests queued or being
+	// served (default 1024). The adaptive limiter (see Admission) moves the
+	// effective limit below this ceiling, never above it. Requests beyond
+	// the effective limit are shed by priority: they either evict queued
+	// lower-priority work, are answered degraded (brownout), or are refused
+	// with ErrServerOverloaded.
 	MaxInFlight int
 	// QueueTimeout bounds how long one admitted request may spend queued
 	// plus being served; a request that exceeds it is answered with
 	// ErrQueueTimeout (0 = no deadline). Per-request context deadlines
 	// compose with it — whichever ends first wins.
 	QueueTimeout time.Duration
+	// Admission tunes the adaptive overload control: the gradient
+	// concurrency limiter, the brownout detector, and the circuit breaker
+	// around brownout's fallback answers. Nil uses the defaults noted on
+	// AdmissionOptions — adaptive limiting is always on, starting wide open
+	// at MaxInFlight.
+	Admission *AdmissionOptions
 	// Observer, when non-nil, receives the server's serving metrics in its
 	// registry: queue depth ("server.queue.depth" gauge), wave sizes
 	// ("server.wave.size" histogram), and admitted / refused / cancelled /
@@ -53,12 +62,55 @@ type ServerOptions struct {
 	Logger *slog.Logger
 }
 
+// AdmissionOptions tunes the Server's adaptive overload control. The zero
+// value (or a nil ServerOptions.Admission) uses the defaults noted on each
+// field.
+type AdmissionOptions struct {
+	// Initial is the starting effective limit (default MaxInFlight: begin
+	// wide open and let measured latency narrow the window).
+	Initial int
+	// Min is the floor the adaptive limit cannot shrink below (default 2,
+	// capped at MaxInFlight). A positive floor keeps a trickle of admission
+	// alive so the limiter can observe recovery.
+	Min int
+	// Tolerance is how much recent latency may exceed the no-load baseline
+	// before the limiter shrinks the window (default 1.5).
+	Tolerance float64
+	// DropBackoff is the multiplicative decrease applied to the limit per
+	// shed or eviction, in (0, 1) (default 0.95).
+	DropBackoff float64
+	// BrownoutThreshold is the shed-rate EWMA past which the server stops
+	// refusing batch/background queries and answers them exactly-but-slower
+	// from the baseline fallback engine instead (default 0.1). Negative
+	// disables brownout; shed requests are always refused. Brownout also
+	// requires the index to have been built with FallbackBaseline —
+	// without a fallback engine, shed requests are refused with ErrBrownout.
+	BrownoutThreshold float64
+	// FallbackBreaker tunes the circuit breaker around brownout's fallback
+	// answers, so a panicking fallback engine stops being retried until a
+	// probe succeeds.
+	FallbackBreaker BreakerOptions
+	// RebuildBreaker tunes the circuit breaker the server's Manager wraps
+	// around reweighting rebuilds (see ManagerOptions.RebuildBreaker).
+	RebuildBreaker BreakerOptions
+}
+
 // Server serves concurrent shortest-path requests on one shared Index,
 // coalescing requests that arrive while a wave is running into the next
 // multi-source SourcesBatched wave. This turns q concurrent single-source
 // queries from q independent edge sweeps into ⌈q/MaxBatch⌉ shared sweeps —
-// the serving-side counterpart of the engine's batched query path — while
-// MaxInFlight bounds the total work admitted at once (load shedding).
+// the serving-side counterpart of the engine's batched query path.
+//
+// Admission is adaptive: a gradient concurrency limiter watches measured
+// wave latency against a smoothed no-load baseline and moves the effective
+// in-flight limit between AdmissionOptions.Min and the MaxInFlight hard
+// ceiling. Requests carry a Priority (WithPriority); when the effective
+// limit is exhausted, an arriving request sheds the youngest queued request
+// of a lower priority class rather than being refused, and past a sustained
+// shed-rate threshold the server enters brownout: batch and background
+// queries are answered exactly — but slower — by the baseline fallback
+// engine instead of being refused. Interactive queries are never browned
+// out.
 //
 // All methods are safe for concurrent use. Requests carry a
 // context.Context: a request cancelled while queued is answered with
@@ -79,11 +131,15 @@ type Server struct {
 	maxInFlight  int
 	queueTimeout time.Duration
 	inj          faultinject.Injector
-	reqs         chan ssspReq
 
-	mu     sync.Mutex // guards closed and the send side of reqs
-	closed bool
-	wg     sync.WaitGroup
+	q           *admission.Queue[ssspReq]
+	lim         *admission.Limiter
+	brown       *admission.Brownout
+	fbBreaker   *admission.Breaker // nil when disabled
+	brownoutOff bool
+	serving     atomic.Int64 // requests popped from the queue, not yet decided
+
+	wg sync.WaitGroup
 
 	// Always-on counters backing Healthz (the obs instruments below are
 	// nil no-ops without an Observer).
@@ -93,6 +149,8 @@ type Server struct {
 	nTimedOut  atomic.Int64
 	nWaves     atomic.Int64
 	nPanics    atomic.Int64
+	nBrownouts atomic.Int64
+	nEvicted   atomic.Int64
 
 	// Metric instruments; nil (no-op) without an Observer.
 	depth     *obs.Gauge
@@ -115,13 +173,20 @@ type ssspReq struct {
 	src  int
 	ctx  context.Context
 	resc chan ssspResp // buffered; the dispatcher never blocks on delivery
-	enq  int64         // admission time, Unix nanos; 0 without Telemetry
+	cls  admission.Class
+	enq  int64 // admission time, Unix nanos (0 only for test-injected reqs)
 }
 
 type ssspResp struct {
 	dist []float64
 	err  error
 }
+
+// errEvicted answers a queued request displaced by a higher-priority
+// arrival. It never escapes the server: the victim's own SSSP call
+// intercepts it and re-enters the shed/brownout path on its own goroutine
+// (so a brownout Dijkstra never runs on the evictor's goroutine).
+var errEvicted = errors.New("sepsp: internal: evicted from admission queue")
 
 // NewServer starts a serving loop over ix, wrapping it in a new Manager
 // (reachable via Manager) so the index can be hot-swapped with Reweight.
@@ -146,6 +211,7 @@ func newServer(ix *Index, opt *ServerOptions) (*Server, error) {
 	var reg *obs.Registry
 	var tel *Telemetry
 	var logger *slog.Logger
+	var admOpt AdmissionOptions
 	if opt != nil {
 		if opt.MaxBatch < 0 || opt.MaxInFlight < 0 || opt.QueueTimeout < 0 {
 			return nil, fmt.Errorf("%w: server limits must be non-negative", ErrBadOptions)
@@ -163,8 +229,23 @@ func newServer(ix *Index, opt *ServerOptions) (*Server, error) {
 		}
 		tel = opt.Telemetry
 		logger = opt.Logger
+		if opt.Admission != nil {
+			admOpt = *opt.Admission
+		}
 	}
-	mgrOpt := &ManagerOptions{Telemetry: tel, Logger: logger, Inject: inj}
+	if admOpt.Initial < 0 || admOpt.Min < 0 {
+		return nil, fmt.Errorf("%w: admission limits must be non-negative", ErrBadOptions)
+	}
+	mgrOpt := &ManagerOptions{
+		Telemetry:      tel,
+		Logger:         logger,
+		Inject:         inj,
+		RebuildBreaker: admOpt.RebuildBreaker,
+	}
+	brownCfg := admission.BrownoutConfig{Threshold: admOpt.BrownoutThreshold}
+	if admOpt.BrownoutThreshold < 0 {
+		brownCfg.Threshold = 0 // detector still runs; answers are gated off
+	}
 	s := &Server{
 		mgr:          NewManager(ix, mgrOpt),
 		n:            ix.g.N(),
@@ -174,15 +255,36 @@ func newServer(ix *Index, opt *ServerOptions) (*Server, error) {
 		inj:          inj,
 		tel:          tel,
 		logger:       logger,
-		reqs:         make(chan ssspReq, maxInFlight),
-		depth:        reg.Gauge(obs.MServerQueueDepth),
-		waveSize:     reg.Histogram(obs.MServerWaveSize),
-		waves:        reg.Counter(obs.MServerWaves),
-		requests:     reg.Counter(obs.MServerRequests),
-		rejected:     reg.Counter(obs.MServerRejected),
-		cancelled:    reg.Counter(obs.MServerCancelled),
-		timedout:     reg.Counter(obs.MServerTimedOut),
-		panics:       reg.Counter(obs.MServerPanics),
+		q:            admission.NewQueue[ssspReq](),
+		lim: admission.NewLimiter(admission.LimiterConfig{
+			Initial:     admOpt.Initial,
+			Min:         admOpt.Min,
+			Max:         maxInFlight,
+			Tolerance:   admOpt.Tolerance,
+			DropBackoff: admOpt.DropBackoff,
+		}),
+		brown:       admission.NewBrownout(brownCfg),
+		fbBreaker:   admOpt.FallbackBreaker.build(),
+		brownoutOff: admOpt.BrownoutThreshold < 0,
+		depth:       reg.Gauge(obs.MServerQueueDepth),
+		waveSize:    reg.Histogram(obs.MServerWaveSize),
+		waves:       reg.Counter(obs.MServerWaves),
+		requests:    reg.Counter(obs.MServerRequests),
+		rejected:    reg.Counter(obs.MServerRejected),
+		cancelled:   reg.Counter(obs.MServerCancelled),
+		timedout:    reg.Counter(obs.MServerTimedOut),
+		panics:      reg.Counter(obs.MServerPanics),
+	}
+	if s.fbBreaker != nil {
+		fb := s.fbBreaker
+		fb.OnTransition(func(_, to admission.State) {
+			if s.tel != nil {
+				s.tel.recordBreakerTransition("fallback", to)
+			}
+			if s.logger != nil {
+				s.logger.Info("fallback breaker transition", "to", to.String())
+			}
+		})
 	}
 	if tel != nil {
 		tel.attach(s)
@@ -190,14 +292,36 @@ func newServer(ix *Index, opt *ServerOptions) (*Server, error) {
 	return s, nil
 }
 
+// effectiveLimit is the admission window currently in force: the adaptive
+// limit capped by the MaxInFlight hard ceiling.
+func (s *Server) effectiveLimit() int {
+	lim := s.lim.Limit()
+	if lim > s.maxInFlight {
+		lim = s.maxInFlight
+	}
+	return lim
+}
+
+// budget is how many requests may sit in the queue right now: the effective
+// limit minus work already popped for serving. It can go negative under a
+// shrinking limit; the queue treats that as zero.
+func (s *Server) budget() int {
+	return s.effectiveLimit() - int(s.serving.Load())
+}
+
 // SSSP returns exact distances from src, like Index.SSSP, but through the
 // server's admission and batching path: the request may wait for the
 // in-progress wave and is then coalesced with other pending requests.
-// It returns ErrServerOverloaded when MaxInFlight requests are already
-// admitted (back off and retry — see Retry), ErrQueueTimeout when the
-// request outlived ServerOptions.QueueTimeout, ErrServerClosed after
-// Close, ctx.Err() if ctx ends first, and a *PanicError if the serving
-// wave panicked.
+//
+// Admission is priority-aware (WithPriority; the default is
+// PriorityInteractive). When the adaptive limit is exhausted the request
+// may displace queued lower-priority work; a request that cannot be
+// admitted is answered degraded from the fallback engine if brownout is
+// engaged (batch/background only), and otherwise refused with
+// ErrServerOverloaded (back off and retry — see Retry). It returns
+// ErrQueueTimeout when the request outlived ServerOptions.QueueTimeout,
+// ErrServerClosed after Close, ctx.Err() if ctx ends first, and a
+// *PanicError if the serving wave panicked.
 func (s *Server) SSSP(ctx context.Context, src int) ([]float64, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -210,32 +334,36 @@ func (s *Server) SSSP(ctx context.Context, src int) ([]float64, error) {
 		ctx, cancel = context.WithTimeoutCause(ctx, s.queueTimeout, ErrQueueTimeout)
 		defer cancel()
 	}
-	r := ssspReq{src: src, ctx: ctx, resc: make(chan ssspResp, 1)}
-	if s.tel != nil {
-		r.enq = time.Now().UnixNano()
+	cls := PriorityOf(ctx).class()
+	r := ssspReq{
+		src:  src,
+		ctx:  ctx,
+		resc: make(chan ssspResp, 1),
+		cls:  cls,
+		enq:  time.Now().UnixNano(),
 	}
-	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
+	res, victim := s.q.Push(r, cls, s.budget())
+	switch res {
+	case admission.Closed:
 		return nil, ErrServerClosed
+	case admission.Rejected:
+		return s.shed(ctx, src, cls)
+	case admission.AdmittedEvicted:
+		// The victim's own SSSP call re-enters the shed path when it sees
+		// errEvicted; the send cannot block (resc is 1-buffered and the
+		// victim left the queue, so nobody else will answer it).
+		s.nEvicted.Add(1)
+		victim.resc <- ssspResp{err: errEvicted}
 	}
-	select {
-	case s.reqs <- r:
-		s.nRequests.Add(1)
-		s.requests.Inc()
-		s.depth.Set(float64(len(s.reqs)))
-		s.mu.Unlock()
-	default:
-		s.mu.Unlock()
-		s.nRejected.Add(1)
-		s.rejected.Inc()
-		if s.tel != nil {
-			s.tel.recordShed(src, s.mgr.Epoch())
-		}
-		return nil, ErrServerOverloaded
-	}
+	s.nRequests.Add(1)
+	s.requests.Inc()
+	s.depth.Set(float64(s.q.Len()))
+	s.brown.Note(false)
 	select {
 	case resp := <-r.resc:
+		if resp.err == errEvicted {
+			return s.shed(ctx, src, cls)
+		}
 		return resp.dist, resp.err
 	case <-ctx.Done():
 		// The request stays in the queue; the dispatcher sees the dead
@@ -243,6 +371,86 @@ func (s *Server) SSSP(ctx context.Context, src int) ([]float64, error) {
 		// distinguishes ErrQueueTimeout from the caller's own ctx ending.
 		return nil, context.Cause(ctx)
 	}
+}
+
+// shed decides a request that could not be (or stay) admitted: feed the
+// limiter and brownout detector, then either answer it degraded from the
+// fallback engine (brownout engaged, non-interactive priority) or refuse
+// it. Runs on the requester's own goroutine.
+func (s *Server) shed(ctx context.Context, src int, cls admission.Class) ([]float64, error) {
+	s.lim.OnDrop()
+	s.brown.Note(true)
+	if cls != admission.Interactive && !s.brownoutOff && s.brown.Active() {
+		dist, err := s.brownoutAnswer(ctx, src, cls)
+		if err == nil {
+			return dist, nil
+		}
+		if cerr := ctx.Err(); cerr != nil {
+			s.countShed(src, cls)
+			return nil, context.Cause(ctx)
+		}
+		if s.logger != nil {
+			s.logger.Debug("brownout answer unavailable", "src", src, "priority", cls.String(), "err", err)
+		}
+		s.countShed(src, cls)
+		return nil, fmt.Errorf("%w: %w", ErrBrownout, ErrServerOverloaded)
+	}
+	s.countShed(src, cls)
+	return nil, ErrServerOverloaded
+}
+
+func (s *Server) countShed(src int, cls admission.Class) {
+	s.nRejected.Add(1)
+	s.rejected.Inc()
+	if s.tel != nil {
+		s.tel.recordShed(src, s.mgr.Epoch(), cls)
+	}
+}
+
+// brownoutAnswer serves one shed query exactly from the baseline fallback
+// engine, on the requester's goroutine, under the fallback circuit breaker
+// and a panic guard. The wave pipeline is untouched.
+func (s *Server) brownoutAnswer(ctx context.Context, src int, cls admission.Class) ([]float64, error) {
+	ix, epoch, release := s.mgr.Acquire()
+	defer release()
+	if ix.fb == nil {
+		return nil, ErrDegraded // no fallback engine to answer from
+	}
+	if s.fbBreaker != nil && !s.fbBreaker.Allow() {
+		return nil, ErrBreakerOpen
+	}
+	dist, err := s.runBrownout(ctx, ix, src)
+	if err != nil {
+		if s.fbBreaker != nil {
+			if cerr := ctx.Err(); cerr != nil && errors.Is(err, cerr) {
+				// The caller went away mid-answer: not the engine's fault.
+				s.fbBreaker.Cancel()
+			} else {
+				s.fbBreaker.Failure()
+			}
+		}
+		return nil, err
+	}
+	if s.fbBreaker != nil {
+		s.fbBreaker.Success()
+	}
+	s.nBrownouts.Add(1)
+	if s.tel != nil {
+		s.tel.recordBrownout(src, epoch, cls)
+	}
+	return dist, nil
+}
+
+// runBrownout executes one fallback query under a panic guard, so a
+// panicking fallback engine feeds the breaker instead of killing the
+// requester's goroutine.
+func (s *Server) runBrownout(ctx context.Context, ix *Index, src int) (dist []float64, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			dist, err = nil, newPanicError("brownout", r)
+		}
+	}()
+	return ix.fb.ssspCtx(ctx, ix.fb.g, src)
 }
 
 // Dist returns the u→v distance. When the index's pair oracle has been
@@ -314,49 +522,53 @@ type ServerHealth struct {
 	// dispatcher recovered.
 	Waves  int64 `json:"waves"`
 	Panics int64 `json:"panics"`
+	// EffectiveLimit is the adaptive admission limit currently in force
+	// (≤ MaxInFlight); Brownout reports whether brownout mode is engaged;
+	// Brownouts counts queries answered degraded from the fallback engine;
+	// Evicted counts queued requests displaced by higher-priority arrivals.
+	EffectiveLimit int   `json:"effective_limit"`
+	Brownout       bool  `json:"brownout"`
+	Brownouts      int64 `json:"brownouts"`
+	Evicted        int64 `json:"evicted"`
 }
 
 // String renders the snapshot as one "key=value" line for logs and CLIs.
 func (h ServerHealth) String() string {
 	return fmt.Sprintf(
-		"closed=%v degraded=%v epoch=%d rebuilding=%v queue=%d/%d maxBatch=%d requests=%d rejected=%d cancelled=%d timedout=%d waves=%d panics=%d",
+		"closed=%v degraded=%v epoch=%d rebuilding=%v queue=%d/%d maxBatch=%d requests=%d rejected=%d cancelled=%d timedout=%d waves=%d panics=%d limit=%d brownout=%v brownouts=%d evicted=%d",
 		h.Closed, h.Degraded, h.Epoch, h.Rebuilding, h.QueueDepth, h.MaxInFlight, h.MaxBatch,
-		h.Requests, h.Rejected, h.Cancelled, h.TimedOut, h.Waves, h.Panics)
+		h.Requests, h.Rejected, h.Cancelled, h.TimedOut, h.Waves, h.Panics,
+		h.EffectiveLimit, h.Brownout, h.Brownouts, h.Evicted)
 }
 
 // Healthz returns a consistent-enough snapshot of the server's state; safe
 // to call concurrently with serving, at any time (including after Close).
 func (s *Server) Healthz() ServerHealth {
-	s.mu.Lock()
-	closed := s.closed
-	depth := len(s.reqs)
-	s.mu.Unlock()
 	return ServerHealth{
-		Closed:      closed,
-		Degraded:    s.mgr.Index().Degraded(),
-		Epoch:       s.mgr.Epoch(),
-		Rebuilding:  s.mgr.Rebuilding(),
-		QueueDepth:  depth,
-		MaxInFlight: s.maxInFlight,
-		MaxBatch:    s.maxBatch,
-		Requests:    s.nRequests.Load(),
-		Rejected:    s.nRejected.Load(),
-		Cancelled:   s.nCancelled.Load(),
-		TimedOut:    s.nTimedOut.Load(),
-		Waves:       s.nWaves.Load(),
-		Panics:      s.nPanics.Load(),
+		Closed:         s.q.IsClosed(),
+		Degraded:       s.mgr.Index().Degraded(),
+		Epoch:          s.mgr.Epoch(),
+		Rebuilding:     s.mgr.Rebuilding(),
+		QueueDepth:     s.q.Len(),
+		MaxInFlight:    s.maxInFlight,
+		MaxBatch:       s.maxBatch,
+		Requests:       s.nRequests.Load(),
+		Rejected:       s.nRejected.Load(),
+		Cancelled:      s.nCancelled.Load(),
+		TimedOut:       s.nTimedOut.Load(),
+		Waves:          s.nWaves.Load(),
+		Panics:         s.nPanics.Load(),
+		EffectiveLimit: s.effectiveLimit(),
+		Brownout:       s.brown.Active(),
+		Brownouts:      s.nBrownouts.Load(),
+		Evicted:        s.nEvicted.Load(),
 	}
 }
 
 // Close stops admitting requests, serves everything already queued, waits
 // for the dispatcher to finish, and returns. Safe to call multiple times.
 func (s *Server) Close() error {
-	s.mu.Lock()
-	if !s.closed {
-		s.closed = true
-		close(s.reqs)
-	}
-	s.mu.Unlock()
+	s.q.Close()
 	s.wg.Wait()
 	return nil
 }
@@ -378,45 +590,44 @@ func (s *Server) checkVertexRole(v int, role string) error {
 }
 
 // run is the dispatcher loop: block for one request, sweep up whatever
-// else is already queued (up to MaxBatch), serve the wave, repeat. Requests
-// arriving while a wave runs accumulate in the channel and form the next
-// wave — batching is adaptive: empty-queue latency is one solo query, and
-// under load waves grow toward MaxBatch.
+// else is already queued (up to MaxBatch, in priority order), serve the
+// wave, repeat. Requests arriving while a wave runs accumulate in the queue
+// and form the next wave — batching is adaptive: empty-queue latency is one
+// solo query, and under load waves grow toward MaxBatch.
 func (s *Server) run() {
 	defer s.wg.Done()
 	batch := make([]ssspReq, 0, s.maxBatch)
 	for {
-		r, ok := <-s.reqs
+		r, _, ok := s.q.PopWait()
 		if !ok {
 			return
 		}
 		batch = s.gather(append(batch[:0], r))
-		s.depth.Set(float64(len(s.reqs)))
+		s.depth.Set(float64(s.q.Len()))
+		s.serving.Add(int64(len(batch)))
 		s.serveWave(batch)
+		s.serving.Add(-int64(len(batch)))
 	}
 }
 
 // gather drains queued requests into batch, up to maxBatch. When the queue
 // runs dry it yields the processor a couple of times before sealing the
 // wave: on a single-P runtime the dispatcher always wins the race back to
-// the channel (channel handoff wakes it directly), so without the yield
-// concurrent clients would be served in solo waves and never coalesce. The
-// yields are no-ops when nothing else is runnable.
+// the queue, so without the yield concurrent clients would be served in
+// solo waves and never coalesce. The yields are no-ops when nothing else is
+// runnable.
 func (s *Server) gather(batch []ssspReq) []ssspReq {
 	for yields := 0; len(batch) < s.maxBatch; {
-		select {
-		case r, ok := <-s.reqs:
-			if !ok {
-				return batch // closed: serve the tail, then exit the loop
-			}
-			batch = append(batch, r)
-		default:
+		r, _, ok := s.q.TryPop()
+		if !ok {
 			if yields >= 2 {
 				return batch
 			}
 			yields++
 			runtime.Gosched()
+			continue
 		}
+		batch = append(batch, r)
 	}
 	return batch
 }
@@ -432,10 +643,14 @@ func (s *Server) gather(batch []ssspReq) []ssspReq {
 // release runs, and every request in one wave is served by — and, with
 // Telemetry, attributed to — exactly one epoch.
 //
+// A successful wave feeds the gradient limiter with the wave's worst
+// member round-trip time (admission → decided), the signal the adaptive
+// admission limit steers by.
+//
 // With Telemetry attached, each decided request records its outcome and
 // its latency phase breakdown — queue wait (admission → wave start) and
 // the wave's shared compute time — plus a flight-recorder event; without
-// it this function performs no clock reads and no extra work.
+// it this function performs only the limiter's clock reads.
 func (s *Server) serveWave(batch []ssspReq) {
 	ix, epoch, release := s.mgr.Acquire()
 	defer release()
@@ -497,7 +712,8 @@ func (s *Server) serveWave(batch []ssspReq) {
 		srcs[i] = r.src
 	}
 	waveID := s.waveSeq.Add(1)
-	ctx, release := waveContext(alive)
+	ctx, detach := waveContext(alive)
+	defer detach() // idempotent; guards the early-panic path against watcher leaks
 	var t0 time.Time
 	if instr {
 		t0 = time.Now()
@@ -507,7 +723,7 @@ func (s *Server) serveWave(batch []ssspReq) {
 	if instr {
 		computeNanos = time.Since(t0).Nanoseconds()
 	}
-	release()
+	detach()
 	if err != nil {
 		var pe *PanicError
 		if errors.As(err, &pe) {
@@ -556,6 +772,18 @@ func (s *Server) serveWave(batch []ssspReq) {
 	if s.logger != nil {
 		s.logger.Debug("wave served", "wave", waveID, "size", len(alive), "epoch", epoch, "compute", time.Duration(computeNanos))
 	}
+	// Feed the limiter with the wave's worst member RTT: admission time of
+	// the oldest member to now. Test-injected requests (enq 0) are skipped
+	// so they cannot poison the baseline.
+	var oldest int64
+	for _, r := range alive {
+		if r.enq > 0 && (oldest == 0 || r.enq < oldest) {
+			oldest = r.enq
+		}
+	}
+	if oldest > 0 {
+		s.lim.Observe(time.Duration(time.Now().UnixNano() - oldest))
+	}
 	for i, r := range alive {
 		r.resc <- ssspResp{dist: rows[i]}
 	}
@@ -580,8 +808,11 @@ func (s *Server) runWave(ctx context.Context, ix *Index, srcs []int) (rows [][]f
 
 // waveContext returns a context that is cancelled once EVERY member's
 // context has ended — one abandoned request does not abort the shared wave,
-// but a wave nobody is waiting for stops within one phase. release must be
-// called when the wave finishes to detach from the member contexts.
+// but a wave nobody is waiting for stops within one phase. detach must be
+// called when the wave finishes to drop the AfterFunc watchers on the
+// member contexts; it is safe to call more than once, so callers can both
+// detach eagerly (to release watchers before delivery) and defer it (so a
+// delivery panic cannot leak them).
 func waveContext(live []ssspReq) (context.Context, func()) {
 	ctx, cancel := context.WithCancel(context.Background())
 	remaining := new(atomic.Int64)

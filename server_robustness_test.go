@@ -266,14 +266,61 @@ func TestRetryStopsWhenContextEnds(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
 	calls := 0
-	// Default sleep observes the dead context instead of waiting out the
-	// backoff.
+	// A context dead before the first attempt means op is never invoked:
+	// the caller already gave up, so even one try is wasted work.
 	err := Retry(ctx, &RetryOptions{BaseDelay: time.Hour, Seed: 1}, func() error {
 		calls++
 		return ErrServerOverloaded
 	})
+	if !errors.Is(err, context.Canceled) || calls != 0 {
+		t.Fatalf("err=%v calls=%d; want context.Canceled with zero attempts", err, calls)
+	}
+}
+
+func TestRetryCancelledMidLoop(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	calls := 0
+	// Cancellation after the first attempt stops the loop at the next
+	// iteration even when the injected sleep ignores the context.
+	err := Retry(ctx, &RetryOptions{Seed: 1, Sleep: func(context.Context, time.Duration) error { return nil }}, func() error {
+		calls++
+		cancel()
+		return ErrServerOverloaded
+	})
 	if !errors.Is(err, context.Canceled) || calls != 1 {
-		t.Fatalf("err=%v calls=%d; want context.Canceled after first attempt", err, calls)
+		t.Fatalf("err=%v calls=%d; want context.Canceled after exactly one attempt", err, calls)
+	}
+}
+
+func TestRetryBackoffCappedAtDeadline(t *testing.T) {
+	const budget = 20 * time.Millisecond
+	ctx, cancel := context.WithTimeout(context.Background(), budget)
+	defer cancel()
+	var slept []time.Duration
+	opt := &RetryOptions{
+		MaxAttempts: 10,
+		BaseDelay:   time.Second, // would dwarf the context budget unclamped
+		MaxDelay:    time.Second,
+		Seed:        7,
+		Sleep: func(_ context.Context, d time.Duration) error {
+			slept = append(slept, d)
+			return nil
+		},
+	}
+	err := Retry(ctx, opt, func() error { return ErrServerOverloaded })
+	if err == nil {
+		t.Fatal("retry of a permanently overloaded op succeeded")
+	}
+	if len(slept) == 0 {
+		t.Fatal("no backoff sleeps recorded")
+	}
+	// Every sleep must fit inside the remaining context budget — with a
+	// 1s BaseDelay and a 20ms deadline, an unclamped draw would exceed the
+	// whole budget with overwhelming probability across 9 sleeps.
+	for i, d := range slept {
+		if d > budget {
+			t.Fatalf("sleep %d = %v longer than the entire deadline budget %v", i, d, budget)
+		}
 	}
 }
 

@@ -3,9 +3,12 @@ package sepsp
 import (
 	"context"
 	"errors"
+	"runtime"
 	"sync"
 	"testing"
+	"time"
 
+	"sepsp/internal/admission"
 	"sepsp/internal/obs"
 )
 
@@ -34,7 +37,7 @@ func TestServerCoalescesWave(t *testing.T) {
 	reqs := make([]ssspReq, k)
 	for i := range reqs {
 		reqs[i] = ssspReq{src: i * 7, ctx: context.Background(), resc: make(chan ssspResp, 1)}
-		srv.reqs <- reqs[i]
+		srv.q.Push(reqs[i], admission.Interactive, 1<<30)
 	}
 	srv.wg.Add(1)
 	go srv.run()
@@ -77,7 +80,7 @@ func TestServerMaxBatchSplitsWaves(t *testing.T) {
 	reqs := make([]ssspReq, k)
 	for i := range reqs {
 		reqs[i] = ssspReq{src: i, ctx: context.Background(), resc: make(chan ssspResp, 1)}
-		srv.reqs <- reqs[i]
+		srv.q.Push(reqs[i], admission.Interactive, 1<<30)
 	}
 	srv.wg.Add(1)
 	go srv.run()
@@ -158,7 +161,7 @@ func TestServerAdmissionLimit(t *testing.T) {
 	reqs := make([]ssspReq, 3)
 	for i := range reqs {
 		reqs[i] = ssspReq{src: i, ctx: context.Background(), resc: make(chan ssspResp, 1)}
-		srv.reqs <- reqs[i]
+		srv.q.Push(reqs[i], admission.Interactive, 1<<30)
 	}
 	if _, err := srv.SSSP(context.Background(), 0); !errors.Is(err, ErrServerOverloaded) {
 		t.Fatalf("overfull queue: err = %v, want ErrServerOverloaded", err)
@@ -191,8 +194,8 @@ func TestServerCancelledWhileQueued(t *testing.T) {
 	cancel()
 	dead := ssspReq{src: 0, ctx: ctx, resc: make(chan ssspResp, 1)}
 	live := ssspReq{src: 1, ctx: context.Background(), resc: make(chan ssspResp, 1)}
-	srv.reqs <- dead
-	srv.reqs <- live
+	srv.q.Push(dead, admission.Interactive, 1<<30)
+	srv.q.Push(live, admission.Interactive, 1<<30)
 	srv.wg.Add(1)
 	go srv.run()
 	if resp := <-dead.resc; !errors.Is(resp.err, context.Canceled) {
@@ -274,5 +277,82 @@ func TestServerBadInput(t *testing.T) {
 	}
 	if _, err := srv.Dist(context.Background(), 0, -1); !errors.Is(err, ErrBadOptions) {
 		t.Fatalf("out-of-range dst: err = %v, want ErrBadOptions", err)
+	}
+}
+
+// leakCtx is a minimal non-stdlib Context implementation. context.AfterFunc
+// cannot see inside it, so it must spawn one watcher goroutine per AfterFunc
+// registration — which is exactly what makes watcher leaks observable.
+type leakCtx struct{ done chan struct{} }
+
+func (c *leakCtx) Deadline() (time.Time, bool) { return time.Time{}, false }
+func (c *leakCtx) Done() <-chan struct{}       { return c.done }
+func (c *leakCtx) Value(any) any               { return nil }
+func (c *leakCtx) Err() error {
+	select {
+	case <-c.done:
+		return context.Canceled
+	default:
+		return nil
+	}
+}
+
+func TestWaveContextDetachReleasesWatchers(t *testing.T) {
+	const n = 64
+	base := runtime.NumGoroutine()
+	reqs := make([]ssspReq, n)
+	for i := range reqs {
+		reqs[i] = ssspReq{ctx: &leakCtx{done: make(chan struct{})}, src: i}
+	}
+	ctx, detach := waveContext(reqs)
+	// The member contexts are opaque, so each AfterFunc registration runs a
+	// watcher goroutine. Confirm they actually spawned — otherwise the leak
+	// assertion below would pass vacuously.
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() < base+n {
+		if time.Now().After(deadline) {
+			t.Fatalf("watchers never spawned: %d goroutines, want ≥ %d", runtime.NumGoroutine(), base+n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	detach()
+	detach() // idempotent: the deferred + eager double call in serveWave
+	// With the member contexts never cancelled, only detach can release the
+	// watchers. Poll: goroutine exit is asynchronous after AfterFunc stop.
+	for runtime.NumGoroutine() > base+2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines after detach: %d, want ≤ %d — AfterFunc watchers leaked",
+				runtime.NumGoroutine(), base+2)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	select {
+	case <-ctx.Done():
+	default:
+		t.Fatal("wave context not cancelled by detach")
+	}
+}
+
+func TestWaveContextCancelsAfterAllMembersEnd(t *testing.T) {
+	members := make([]*leakCtx, 3)
+	reqs := make([]ssspReq, 3)
+	for i := range reqs {
+		members[i] = &leakCtx{done: make(chan struct{})}
+		reqs[i] = ssspReq{ctx: members[i], src: i}
+	}
+	ctx, detach := waveContext(reqs)
+	defer detach()
+	for i, m := range members {
+		select {
+		case <-ctx.Done():
+			t.Fatalf("wave cancelled with member %d still live", i)
+		default:
+		}
+		close(m.done)
+	}
+	select {
+	case <-ctx.Done():
+	case <-time.After(2 * time.Second):
+		t.Fatal("wave context never cancelled after every member ended")
 	}
 }

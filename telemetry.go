@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"sepsp/internal/admission"
 	"sepsp/internal/obs/live"
 )
 
@@ -44,12 +45,20 @@ type Telemetry struct {
 	// queries is indexed by live.Outcome; degradedQ counts queries served
 	// while the index was degraded to the baseline fallback (orthogonal to
 	// outcome — a degraded query usually still succeeds).
-	queries   [6]*live.Counter
+	queries   [7]*live.Counter
 	degradedQ *live.Counter
 	waves     *live.Counter
 	backoffs  *live.Counter
 	fbEngaged *live.Counter
 	fbQueries *live.Counter
+
+	// Admission-control families, indexed by admission.Class / breaker
+	// state. The breaker transition counters are pre-registered for both
+	// breakers ("rebuild", "fallback") and every target state.
+	sheds        [admission.NumClasses]*live.Counter
+	brownouts    [admission.NumClasses]*live.Counter
+	rebuildTrans [3]*live.Counter
+	fbTrans      [3]*live.Counter
 
 	// Index-lifecycle families, driven by Manager reweighting rebuilds.
 	swapsTotal   *live.Counter
@@ -80,8 +89,24 @@ func NewTelemetry(opt *TelemetryOptions) *Telemetry {
 	}
 	const qname = "sepsp_server_queries_total"
 	const qhelp = "Requests decided by the server, by outcome."
-	for out := live.OutcomeOK; out <= live.OutcomeError; out++ {
+	for out := live.OutcomeOK; out <= live.OutcomeBrownout; out++ {
 		t.queries[out] = reg.Counter(qname, qhelp, `outcome="`+out.String()+`"`)
+	}
+	for c := admission.Class(0); c < admission.NumClasses; c++ {
+		plbl := `priority="` + c.String() + `"`
+		t.sheds[c] = reg.Counter("sepsp_admission_shed_total",
+			"Requests shed (refused or evicted) at admission, by priority class.", plbl)
+		t.brownouts[c] = reg.Counter("sepsp_admission_brownout_total",
+			"Shed requests answered exactly from the baseline fallback engine (brownout), by priority class.", plbl)
+	}
+	for st := admission.StateClosed; st <= admission.StateHalfOpen; st++ {
+		tolbl := `to="` + st.String() + `"`
+		t.rebuildTrans[st] = reg.Counter("sepsp_breaker_transitions_total",
+			"Circuit breaker state transitions, by breaker and target state.",
+			`breaker="rebuild",`+tolbl)
+		t.fbTrans[st] = reg.Counter("sepsp_breaker_transitions_total",
+			"Circuit breaker state transitions, by breaker and target state.",
+			`breaker="fallback",`+tolbl)
 	}
 	t.degradedQ = reg.Counter("sepsp_server_degraded_queries_total",
 		"Queries served while the index was degraded to the baseline fallback engine.", "")
@@ -127,10 +152,37 @@ func (t *Telemetry) attach(s *Server) {
 	slbl := fmt.Sprintf(`server="%d"`, sid)
 	t.reg.GaugeFunc("sepsp_server_queue_depth",
 		"Requests currently queued for a wave.", slbl,
-		func() float64 { return float64(len(s.reqs)) })
+		func() float64 { return float64(s.q.Len()) })
 	t.reg.GaugeFunc("sepsp_server_max_in_flight",
-		"Configured admission cap (MaxInFlight).", slbl,
+		"Configured admission hard ceiling (MaxInFlight).", slbl,
 		func() float64 { return float64(s.maxInFlight) })
+	t.reg.GaugeFunc("sepsp_admission_limit",
+		"Adaptive effective concurrency limit currently in force (<= MaxInFlight).", slbl,
+		func() float64 { return float64(s.effectiveLimit()) })
+	t.reg.GaugeFunc("sepsp_admission_inflight",
+		"Requests admitted and not yet decided (queued + being served).", slbl,
+		func() float64 { return float64(s.q.Len() + int(s.serving.Load())) })
+	t.reg.GaugeFunc("sepsp_server_brownout_active",
+		"1 while brownout mode is engaged (low-priority queries answered degraded).", slbl,
+		func() float64 {
+			if s.brown.Active() {
+				return 1
+			}
+			return 0
+		})
+	t.reg.GaugeFunc("sepsp_breaker_state",
+		"Circuit breaker state: 0 closed, 1 open, 2 half-open.",
+		slbl+`,breaker="rebuild"`,
+		func() float64 { return float64(s.mgr.BreakerState()) })
+	t.reg.GaugeFunc("sepsp_breaker_state",
+		"Circuit breaker state: 0 closed, 1 open, 2 half-open.",
+		slbl+`,breaker="fallback"`,
+		func() float64 {
+			if s.fbBreaker == nil {
+				return 0
+			}
+			return float64(s.fbBreaker.State())
+		})
 	t.reg.GaugeFunc("sepsp_server_degraded",
 		"1 while the index serves from the baseline fallback engine.", slbl,
 		func() float64 {
@@ -240,10 +292,12 @@ func (t *Telemetry) recordWave(wave int64, batch int, computeNanos int64, epoch 
 	})
 }
 
-// recordShed records a request refused at admission; it never queued, so
-// only the outcome counter and the flight recorder see it.
-func (t *Telemetry) recordShed(src int, epoch uint64) {
+// recordShed records a request shed at admission (refused or evicted); it
+// was not served by a wave, so only the outcome and per-priority counters
+// and the flight recorder see it.
+func (t *Telemetry) recordShed(src int, epoch uint64, cls admission.Class) {
 	t.queries[live.OutcomeShed].Inc()
+	t.sheds[cls].Inc()
 	t.rec.Record(live.Event{
 		Time:    live.Now(),
 		Kind:    live.KindFailure,
@@ -251,6 +305,34 @@ func (t *Telemetry) recordShed(src int, epoch uint64) {
 		Source:  int32(src),
 		Epoch:   epoch,
 	})
+}
+
+// recordBrownout records a shed request answered exactly from the baseline
+// fallback engine instead of being refused.
+func (t *Telemetry) recordBrownout(src int, epoch uint64, cls admission.Class) {
+	t.queries[live.OutcomeBrownout].Inc()
+	t.brownouts[cls].Inc()
+	t.rec.Record(live.Event{
+		Time:     live.Now(),
+		Kind:     live.KindQuery,
+		Outcome:  live.OutcomeBrownout,
+		Source:   int32(src),
+		Epoch:    epoch,
+		Degraded: true,
+	})
+}
+
+// recordBreakerTransition counts one circuit breaker state change.
+func (t *Telemetry) recordBreakerTransition(name string, to admission.State) {
+	if to > admission.StateHalfOpen {
+		return
+	}
+	switch name {
+	case "rebuild":
+		t.rebuildTrans[to].Inc()
+	case "fallback":
+		t.fbTrans[to].Inc()
+	}
 }
 
 // recordBackoff counts one overload retry slept by Retry. Nil-safe: Retry

@@ -162,7 +162,7 @@ func TestTelemetryShedAndBackoff(t *testing.T) {
 			_, _ = srv.SSSP(ctx, i)
 		}(i)
 	}
-	for len(srv.reqs) < 2 {
+	for srv.q.Len() < 2 {
 		time.Sleep(time.Millisecond)
 	}
 	retry := &RetryOptions{
@@ -269,6 +269,11 @@ func TestServerHealthGolden(t *testing.T) {
 		TimedOut:    1,
 		Waves:       90,
 		Panics:      1,
+
+		EffectiveLimit: 64,
+		Brownout:       true,
+		Brownouts:      5,
+		Evicted:        3,
 	}
 	got, err := json.MarshalIndent(h, "", "  ")
 	if err != nil {
@@ -283,7 +288,7 @@ func TestServerHealthGolden(t *testing.T) {
 	if !bytes.Equal(got, want) {
 		t.Fatalf("ServerHealth JSON drifted from golden file %s:\n got: %s\nwant: %s", golden, got, want)
 	}
-	wantStr := "closed=false degraded=true epoch=42 rebuilding=true queue=3/128 maxBatch=16 requests=1000 rejected=7 cancelled=2 timedout=1 waves=90 panics=1"
+	wantStr := "closed=false degraded=true epoch=42 rebuilding=true queue=3/128 maxBatch=16 requests=1000 rejected=7 cancelled=2 timedout=1 waves=90 panics=1 limit=64 brownout=true brownouts=5 evicted=3"
 	if s := h.String(); s != wantStr {
 		t.Fatalf("String() = %q\n     want %q", s, wantStr)
 	}
