@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race chaos serve-drill reweight-drill overload-drill api-check api-snapshot check bench bench-build bench-build-baseline
+.PHONY: build test vet race chaos serve-drill reweight-drill overload-drill api-check api-snapshot check bench bench-build bench-build-baseline bench-query bench-query-baseline
 
 build:
 	$(GO) build ./...
@@ -78,3 +78,18 @@ bench-build:
 
 bench-build-baseline:
 	$(GO) run ./cmd/benchtab -exp E-build -json > BENCH_build.json
+
+# bench-query runs the query-path experiment (E-query) and gates it against
+# the recorded baseline BENCH_query.json: executed and pruned counted work
+# must match the baseline exactly (and be independent of P for the batched
+# wave), steady-state query allocations must stay within tolerance, the
+# optimized single-source executor must hold its speedup floor over the
+# retained naive reference relaxer at the largest n, and the k=32 wave must
+# scale on multi-CPU runners (see DESIGN.md "Query performance").
+# bench-query-baseline re-records the baseline after an intentional kernel
+# change.
+bench-query:
+	$(GO) run ./cmd/benchtab -gate BENCH_query.json
+
+bench-query-baseline:
+	$(GO) run ./cmd/benchtab -exp E-query -json > BENCH_query.json

@@ -7,6 +7,7 @@ package sepsp
 // conventional micro-benchmarks of the hot kernels.
 
 import (
+	"fmt"
 	"io"
 	"math/rand"
 	"testing"
@@ -270,6 +271,62 @@ func BenchmarkIndexBuildPublicAPI(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := Build(g, nil); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSSSPHot times the steady-state single-source query through the
+// public API — the SoA phase arena with convergence pruning, workspace
+// pools warm (see DESIGN.md "Query performance"). Compare against
+// BenchmarkTable1PerSource for the cold, per-artifact view.
+func BenchmarkSSSPHot(b *testing.B) {
+	for _, side := range []int{32, 64} {
+		b.Run(fmt.Sprintf("n=%d", side*side), func(b *testing.B) {
+			g, grid := gridGraph(b, side, side, 9)
+			ix, err := Build(g, &Options{Decomposition: GridDecomposition(grid.Coord)})
+			if err != nil {
+				b.Fatal(err)
+			}
+			src := g.N() / 2
+			ix.SSSP(src) // warm the workspace pool
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_ = ix.SSSP(src)
+			}
+		})
+	}
+}
+
+// BenchmarkSourcesBatchedWave times the lane-parallel batched wave across
+// batch widths k and worker counts P: one shared edge sweep relaxes k
+// distance lanes per phase, with the lane dimension partitioned across
+// workers (no atomics; see DESIGN.md "Query performance"). P=4 rows on a
+// multi-CPU machine show the wave's scaling; counted work is independent
+// of P.
+func BenchmarkSourcesBatchedWave(b *testing.B) {
+	for _, k := range []int{8, 32} {
+		for _, p := range []int{1, 4} {
+			b.Run(fmt.Sprintf("k=%d/P=%d", k, p), func(b *testing.B) {
+				g, grid := gridGraph(b, 64, 64, 9)
+				ix, err := Build(g, &Options{
+					Decomposition: GridDecomposition(grid.Coord),
+					Workers:       p,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				srcs := make([]int, k)
+				for j := range srcs {
+					srcs[j] = (j * 37) % g.N()
+				}
+				ix.SourcesBatched(srcs) // warm the workspace pool
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					_ = ix.SourcesBatched(srcs)
+				}
+			})
 		}
 	}
 }

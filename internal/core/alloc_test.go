@@ -1,0 +1,43 @@
+//go:build !race
+
+package core
+
+// Allocation-regression tests for the pooled engine query paths, excluded
+// under -race because the detector's instrumentation inflates the counts
+// (`make check` runs them in the plain test pass).
+
+import (
+	"testing"
+
+	"sepsp/internal/graph/gen"
+)
+
+// TestSSSPParallelSteadyStateAllocs pins the pooled parallel query: the
+// atomic cell buffer comes from the engine workspace pool and the worker
+// closure is cached in it, so after warmup a call allocates only the
+// returned distance slice (plus one for slack).
+func TestSSSPParallelSteadyStateAllocs(t *testing.T) {
+	eng, _ := buildGridEngine(t, []int{12, 12}, gen.UniformWeights(0.5, 2), 9, Config{})
+	eng.SSSPParallel(0, nil) // warm the workspace pool
+	if avg := testing.AllocsPerRun(50, func() { _ = eng.SSSPParallel(1, nil) }); avg > 2 {
+		t.Fatalf("SSSPParallel allocates %.1f objects per call, want <= 2", avg)
+	}
+}
+
+// TestSourcesBatchedWaveSteadyStateAllocs pins the wave kernel at a lane
+// count high enough to engage the parallel dispatch path on a sequential
+// executor's threshold check — the interleaved buffer, lane flags, and
+// executor closure are all pooled, leaving the k result rows and their
+// spine.
+func TestSourcesBatchedWaveSteadyStateAllocs(t *testing.T) {
+	eng, g := buildGridEngine(t, []int{12, 12}, gen.UniformWeights(0.5, 2), 9, Config{})
+	srcs := make([]int, batchedParallelMinLanes)
+	for j := range srcs {
+		srcs[j] = (j * 7) % g.N()
+	}
+	eng.SourcesBatched(srcs, nil)
+	budget := float64(len(srcs)) + 2
+	if avg := testing.AllocsPerRun(50, func() { _ = eng.SourcesBatched(srcs, nil) }); avg > budget {
+		t.Fatalf("SourcesBatched allocates %.1f objects per call, want <= %g", avg, budget)
+	}
+}

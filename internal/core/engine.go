@@ -73,12 +73,57 @@ type Engine struct {
 }
 
 // queryWS is the reusable per-query scratch handed out by the engine's
-// pool: a flat distance buffer for batched waves and an int queue for
-// tight-tree BFS. Only scratch that never escapes a query is pooled —
-// result slices returned to callers are always freshly allocated.
+// pool: a flat distance buffer for batched waves, an int queue for
+// tight-tree BFS, the atomic cell buffer for SSSPParallel, and the
+// lane-state + cached executor closures of the batched wave kernel. Only
+// scratch that never escapes a query is pooled — result slices returned to
+// callers are always freshly allocated.
 type queryWS struct {
 	flat  []float64
 	queue []int
+	cells []uint64
+	lanes []bool // backing for the batched kernel's active+changed flags
+
+	// Convergence-pruning scratch of the sequential executor: prevT is
+	// the run-delta tracker (per global run slot, the head distance at the
+	// run's last relaxation), blockDirty the ℓ-block frontier flags (one
+	// per 64-run block of the eAll bucket, plus the dummy slot for
+	// vertices heading no original edge). See relaxEAllBlocks.
+	prevT      []float64
+	blockDirty []bool
+
+	bst batchedState
+	bfn func(lo, hi int) // cached closure over &bst (lane partition body)
+	pst parallelState
+	pfn func(lo, hi int) // cached closure over &pst (run partition body)
+}
+
+// growPrev returns the run-delta tracker for n runs, every entry reset to
+// +Inf (the state before any relaxation), reusing capacity.
+func (ws *queryWS) growPrev(n int) []float64 {
+	if cap(ws.prevT) < n {
+		ws.prevT = make([]float64, n)
+	}
+	p := ws.prevT[:n]
+	inf := math.Inf(1)
+	for i := range p {
+		p[i] = inf
+	}
+	return p
+}
+
+// growBlockDirty returns the ℓ-block frontier flags for blocks real blocks
+// plus the dummy marking slot, every flag cleared, reusing capacity.
+func (ws *queryWS) growBlockDirty(blocks int) []bool {
+	n := blocks + 1
+	if cap(ws.blockDirty) < n {
+		ws.blockDirty = make([]bool, n)
+	}
+	d := ws.blockDirty[:n]
+	for i := range d {
+		d[i] = false
+	}
+	return d
 }
 
 // grow returns a flat float64 buffer of length n, reusing capacity.
@@ -87,6 +132,41 @@ func (ws *queryWS) grow(n int) []float64 {
 		ws.flat = make([]float64, n)
 	}
 	return ws.flat[:n]
+}
+
+// growCells returns a uint64 cell buffer of length n, reusing capacity.
+func (ws *queryWS) growCells(n int) []uint64 {
+	if cap(ws.cells) < n {
+		ws.cells = make([]uint64, n)
+	}
+	return ws.cells[:n]
+}
+
+// growLanes returns the per-lane active and changed flag slices for a
+// k-lane wave, reusing capacity.
+func (ws *queryWS) growLanes(k int) (active, changed []bool) {
+	if cap(ws.lanes) < 2*k {
+		ws.lanes = make([]bool, 2*k)
+	}
+	l := ws.lanes[:2*k]
+	return l[:k:k], l[k:]
+}
+
+// laneFn returns the cached lane-partition closure for ForChunked — created
+// once per workspace so steady-state waves allocate no closures.
+func (ws *queryWS) laneFn() func(lo, hi int) {
+	if ws.bfn == nil {
+		ws.bfn = func(lo, hi int) { ws.bst.run(lo, hi) }
+	}
+	return ws.bfn
+}
+
+// runFn returns the cached run-partition closure for SSSPParallel.
+func (ws *queryWS) runFn() func(lo, hi int) {
+	if ws.pfn == nil {
+		ws.pfn = func(lo, hi int) { ws.pst.relax(lo, hi) }
+	}
+	return ws.pfn
 }
 
 func (e *Engine) getWS() *queryWS {
@@ -219,45 +299,225 @@ func (e *Engine) SSSPFrom(init []float64, st *pram.Stats) []float64 {
 	return dist
 }
 
-// runSchedule relaxes dist in place through the full §3.2 phase schedule,
+// The sequential executor's convergence-pruned kernels. All three relax
+// one SoA phase bucket into dist and report whether any distance improved.
+// Per head-run, dist[head] is loaded once; that is exact because a run's
+// own edges cannot lower its head (an improving self-loop would be a
+// negative cycle, rejected at construction), so the cached value equals
+// what a per-edge reload in the same order would read.
+//
+// relaxBucketDense is the single-sweep kernel (desc[L]/asc[L] buckets,
+// each visited once per query): no tracking pays for itself there, so it
+// only skips still-unreachable heads — du = +Inf relaxes nothing, because
+// +Inf + w < x is false for every finite x and for x = +Inf. The loop
+// body is kept store-minimal on purpose: these buckets are the bulk of a
+// query's executed relaxations, and adding frontier bookkeeping here was
+// measured to cost more than the ℓ-block skips it buys (the ℓ-post block
+// instead re-arms every block flag once, see runSchedule).
+func relaxBucketDense(dist []float64, b *soaBucket) bool {
+	changed := false
+	to, w := b.to, b.w
+	lo := 0
+	for _, hr := range b.rle {
+		hi := int(hr.hi)
+		du := dist[hr.h]
+		if math.IsInf(du, 1) {
+			lo = hi
+			continue
+		}
+		tt, ww := to[lo:hi], w[lo:hi]
+		for j, wj := range ww {
+			if d := du + wj; d < dist[tt[j]] {
+				dist[tt[j]] = d
+				changed = true
+			}
+		}
+		lo = hi
+	}
+	return changed
+}
+
+// relaxBucketTracked is the twice-swept kernel (same[L] buckets, visited
+// once by the descending and once by the ascending sweep). prev is the
+// query's run-delta tracker, one slot per global run (soaBucket.runBase +
+// r): prev holds dist[head] as of the run's last relaxation, and a run
+// whose head is unchanged since then is skipped. The skip is exact:
+// distances only decrease, so du == prev means every comparison
+// du+w < dist[to] already failed with the same du against a dist[to] that
+// can only have shrunk since — a guaranteed no-op. Slots start at +Inf,
+// which subsumes the unreachable-head skip on the first sweep.
+func relaxBucketTracked(dist []float64, b *soaBucket, prev []float64) bool {
+	changed := false
+	to, w := b.to, b.w
+	pr := prev[b.runBase : int(b.runBase)+len(b.heads)]
+	lo := 0
+	for r, hr := range b.rle {
+		hi := int(hr.hi)
+		du := dist[hr.h]
+		if du == pr[r] {
+			lo = hi
+			continue
+		}
+		pr[r] = du
+		tt, ww := to[lo:hi], w[lo:hi]
+		for j, wj := range ww {
+			if d := du + wj; d < dist[tt[j]] {
+				dist[tt[j]] = d
+				changed = true
+			}
+		}
+		lo = hi
+	}
+	return changed
+}
+
+// relaxEAllBlocks is the ℓ-block kernel: the eAll bucket is swept 2ℓ times
+// per query, so it layers a block frontier on top of the run-delta
+// tracker — blockDirty has one flag per eAllBlockRuns consecutive runs, and a block
+// whose flag is clear is skipped wholesale. The flag discipline keeps the
+// set of dirty blocks a superset of the runs the prev check would
+// execute: flags are seeded from the finite entries of the initial vector
+// before the ℓ-pre block, maintained here at every improvement this
+// kernel causes (blockOf[v] is the block of v's eAll run, or the
+// branch-free dummy slot), and re-armed wholesale at the start of the
+// ℓ-post block (see runSchedule), the one point where other kernels'
+// unmarked improvements could have accumulated. Skipping a clean block is
+// exact by induction: none of its heads improved since its last scan, so
+// each of its runs would be skipped by the prev check anyway — the head
+// either relaxed at that scan (prev equals it) or was already equal then,
+// and is unchanged since. A dirty block clears its flag and rescans its
+// runs under the prev check; improvements re-mark their target blocks —
+// possibly the current one, keeping it live for the next sweep. Dirty
+// runs execute in ascending run order, the canonical order, so distances
+// stay bit-identical to a full scan while the sweeps become
+// frontier-driven: each late ℓ-post sweep touches only the blocks still
+// propagating (the deepest leaves), and most of the ~half of
+// WorkPerSource parked in the two ℓ-blocks vanishes from the wall clock.
+// Counted work is a schedule property and is unaffected; see DESIGN.md
+// "Query performance".
+func relaxEAllBlocks(dist []float64, b *soaBucket, prev []float64, blockDirty []bool, blockOf []int32) bool {
+	changed := false
+	off, to, w, rle := b.off, b.to, b.w, b.rle
+	pr := prev[b.runBase : int(b.runBase)+len(rle)]
+	for blk := 0; blk < len(blockDirty)-1; blk++ {
+		if !blockDirty[blk] {
+			continue
+		}
+		blockDirty[blk] = false
+		rStart := blk * eAllBlockRuns
+		rEnd := rStart + eAllBlockRuns
+		if rEnd > len(rle) {
+			rEnd = len(rle)
+		}
+		lo := int(off[rStart])
+		for r := rStart; r < rEnd; r++ {
+			hi := int(rle[r].hi)
+			du := dist[rle[r].h]
+			if du == pr[r] {
+				lo = hi
+				continue
+			}
+			pr[r] = du
+			tt, ww := to[lo:hi], w[lo:hi]
+			for j, wj := range ww {
+				if d := du + wj; d < dist[tt[j]] {
+					v := tt[j]
+					dist[v] = d
+					blockDirty[blockOf[v]] = true
+					changed = true
+				}
+			}
+			lo = hi
+		}
+	}
+	return changed
+}
+
+// runSchedule relaxes dist in place through the §3.2 phase schedule,
 // polling ctx between phases when non-nil. The uninstrumented path is
 // closure-free, so it performs no heap allocation.
+//
+// The two ℓ-blocks take the convergence early exit: a full sweep over the
+// original edges that relaxes nothing is a fixpoint witness — relaxation is
+// monotone and the block re-scans the same bucket, so every remaining sweep
+// of the block would be a no-op and is skipped. Skipped phases neither poll
+// ctx nor fire the injector; their cost is reported via Stats.AddSkipped so
+// executed+skipped reconciles exactly with the static schedule.
 func (e *Engine) runSchedule(ctx context.Context, dist []float64, st *pram.Stats) error {
 	if e.obs.Enabled() {
 		return e.runScheduleObserved(ctx, dist, st)
 	}
 	n := e.schedule.Phases()
-	var work, rounds int64
-	for i := 0; i < n; i++ {
+	ws := e.getWS()
+	defer e.putWS(ws)
+	prev := ws.growPrev(e.schedule.prevRuns)
+	bd := ws.growBlockDirty(e.schedule.eAllBlocks)
+	e.schedule.seedDirty(bd, dist)
+	postStart := e.schedule.Phases() - e.schedule.l
+	var work, rounds, avoided, skipped int64
+	i := 0
+	for i < n {
 		if ctx != nil {
 			if err := ctx.Err(); err != nil {
 				st.AddWork(work)
 				st.AddRounds(rounds)
+				st.AddSkipped(avoided, skipped)
 				return err
 			}
 		}
 		e.firePhase()
-		_, edges := e.schedule.PhaseAt(i)
-		for _, ed := range edges {
-			if du := dist[ed.From]; du+ed.W < dist[ed.To] {
-				dist[ed.To] = du + ed.W
+		if i == postStart {
+			// Entering the ℓ-post block: the descending/ascending sweeps
+			// improved distances without frontier bookkeeping, so re-arm
+			// every block and let the per-run prev check re-filter.
+			for k := range bd {
+				bd[k] = true
 			}
 		}
-		work += int64(len(edges))
+		ph, b := e.schedule.phaseBucketAt(i)
+		var changed bool
+		switch ph.Kind {
+		case PhaseEllPre, PhaseEllPost:
+			changed = relaxEAllBlocks(dist, b, prev, bd, e.schedule.eAllBlockOf)
+		case PhaseSameDown, PhaseSameUp:
+			changed = relaxBucketTracked(dist, b, prev)
+		default: // PhaseDesc, PhaseAsc: single sweep, tracking can't pay
+			changed = relaxBucketDense(dist, b)
+		}
+		work += int64(b.edges())
 		rounds++ // one phase; O(log n) EREW steps, see Section 2.2
+		if !changed {
+			if _, end, ok := e.schedule.ellBlock(i); ok && end > i+1 {
+				skipped += int64(end - i - 1)
+				avoided += int64(end-i-1) * int64(b.edges())
+				i = end
+				continue
+			}
+		}
+		i++
 	}
 	st.AddWork(work)
 	st.AddRounds(rounds)
+	st.AddSkipped(avoided, skipped)
 	return nil
 }
 
 // runScheduleObserved is runSchedule with per-phase spans, pprof labels,
-// and metric attribution (the instrumented slow path).
+// and metric attribution (the instrumented slow path). It prunes exactly
+// like the plain path — same distances, same Stats — and additionally
+// attributes the avoided cost to the skipped-phase counters.
 func (e *Engine) runScheduleObserved(ctx context.Context, dist []float64, st *pram.Stats) error {
 	qs := e.obs.Span("query.sssp", "query", "phases", e.schedule.Phases())
 	defer qs.End()
 	n := e.schedule.Phases()
-	for i := 0; i < n; i++ {
+	ws := e.getWS()
+	defer e.putWS(ws)
+	prev := ws.growPrev(e.schedule.prevRuns)
+	bd := ws.growBlockDirty(e.schedule.eAllBlocks)
+	e.schedule.seedDirty(bd, dist)
+	postStart := e.schedule.Phases() - e.schedule.l
+	i := 0
+	for i < n {
 		if ctx != nil {
 			if err := ctx.Err(); err != nil {
 				e.obs.Counter(obs.MQueryCancelled).Inc()
@@ -265,23 +525,69 @@ func (e *Engine) runScheduleObserved(ctx context.Context, dist []float64, st *pr
 			}
 		}
 		e.firePhase()
-		ph, edges := e.schedule.PhaseAt(i)
-		sp := e.obs.Span("query.phase", "query",
-			"index", ph.Index, "kind", string(ph.Kind), "level", ph.Level, "edges", len(edges))
-		e.obs.Do(func() {
-			for _, ed := range edges {
-				if du := dist[ed.From]; du+ed.W < dist[ed.To] {
-					dist[ed.To] = du + ed.W
-				}
+		if i == postStart {
+			for k := range bd {
+				bd[k] = true
 			}
-			st.AddWork(int64(len(edges)))
+		}
+		ph, b := e.schedule.phaseBucketAt(i)
+		sp := e.obs.Span("query.phase", "query",
+			"index", ph.Index, "kind", string(ph.Kind), "level", ph.Level, "edges", b.edges())
+		var changed bool
+		e.obs.Do(func() {
+			switch ph.Kind {
+			case PhaseEllPre, PhaseEllPost:
+				changed = relaxEAllBlocks(dist, b, prev, bd, e.schedule.eAllBlockOf)
+			case PhaseSameDown, PhaseSameUp:
+				changed = relaxBucketTracked(dist, b, prev)
+			default:
+				changed = relaxBucketDense(dist, b)
+			}
+			st.AddWork(int64(b.edges()))
 			st.AddRounds(1)
 		}, "phase", string(ph.Kind))
 		sp.End()
-		e.obs.Counter(obs.MQueryWork + "." + string(ph.Kind)).Add(int64(len(edges)))
+		e.obs.Counter(obs.MQueryWork + "." + string(ph.Kind)).Add(int64(b.edges()))
 		e.obs.Counter(obs.MQueryPhases).Inc()
+		if !changed {
+			if _, end, ok := e.schedule.ellBlock(i); ok && end > i+1 {
+				sk := int64(end - i - 1)
+				st.AddSkipped(sk*int64(b.edges()), sk)
+				e.obs.Counter(obs.MQueryPhasesSkipped).Add(sk)
+				e.obs.Counter(obs.MQueryWorkAvoided).Add(sk * int64(b.edges()))
+				i = end
+				continue
+			}
+		}
+		i++
 	}
 	return nil
+}
+
+// SSSPReference computes distances from src with the pre-optimization
+// executor: a scalar loop over the AoS phase buckets, no arena streaming,
+// no run skipping, no convergence pruning — all 2ℓ+4(d_G+1) phases scan
+// their full bucket. It relaxes the same canonical edge order as the
+// optimized paths, so their results must be bit-identical; it is retained
+// as the exactness oracle for the cross-executor fuzz target and as the
+// baseline the E-query experiment measures speedup against.
+func (e *Engine) SSSPReference(src int, st *pram.Stats) []float64 {
+	dist := newDistVector(e.g.N())
+	dist[src] = 0
+	n := e.schedule.Phases()
+	var work int64
+	for i := 0; i < n; i++ {
+		_, edges := e.schedule.PhaseAt(i)
+		for _, ed := range edges {
+			if du := dist[ed.From]; du+ed.W < dist[ed.To] {
+				dist[ed.To] = du + ed.W
+			}
+		}
+		work += int64(len(edges))
+	}
+	st.AddWork(work)
+	st.AddRounds(int64(n))
+	return dist
 }
 
 // Sources computes SSSP from each source in parallel (one goroutine pool
@@ -306,85 +612,28 @@ func (e *Engine) SourcesContext(ctx context.Context, srcs []int, st *pram.Stats)
 		out[i], errs[i] = e.SSSPContext(ctx, srcs[i], perSource[i])
 	})
 	var maxRounds int64
+	minSkipped := int64(-1)
 	for _, ps := range perSource {
 		st.AddWork(ps.Work())
+		st.AddSkipped(ps.SkippedWork(), 0)
 		if ps.Rounds() > maxRounds {
 			maxRounds = ps.Rounds()
 		}
+		if minSkipped < 0 || ps.SkippedRounds() < minSkipped {
+			minSkipped = ps.SkippedRounds()
+		}
 	}
 	st.AddRounds(maxRounds)
+	// Rounds aggregate as the per-source max (sources run concurrently), so
+	// the matching skipped-rounds aggregate is the min: the span of the
+	// batch is bounded by its least-pruned source.
+	if minSkipped > 0 {
+		st.AddSkipped(0, minSkipped)
+	}
 	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
-	}
-	return out, nil
-}
-
-// SourcesBatched computes SSSP from k sources by relaxing all k distance
-// vectors during one shared sweep over each phase's edge bucket — the
-// cache-friendly formulation for moderate k (each edge is loaded once per
-// phase instead of once per source per phase). Results match Sources
-// exactly; counted work is identical (k relaxations per scanned edge).
-func (e *Engine) SourcesBatched(srcs []int, st *pram.Stats) [][]float64 {
-	out, _ := e.SourcesBatchedContext(nil, srcs, st)
-	return out
-}
-
-// SourcesBatchedContext is SourcesBatched with cooperative cancellation
-// (ctx polled between phases; nil skips polling). The k×n working buffer
-// is drawn from the engine's workspace pool, so steady-state allocations
-// are just the k returned rows.
-func (e *Engine) SourcesBatchedContext(ctx context.Context, srcs []int, st *pram.Stats) ([][]float64, error) {
-	k := len(srcs)
-	if k == 0 {
-		return nil, nil
-	}
-	n := e.g.N()
-	ws := e.getWS()
-	defer e.putWS(ws)
-	// dist[v*k+j] = current distance of v from srcs[j].
-	dist := ws.grow(n * k)
-	inf := math.Inf(1)
-	for i := range dist {
-		dist[i] = inf
-	}
-	for j, s := range srcs {
-		dist[s*k+j] = 0
-	}
-	np := e.schedule.Phases()
-	var work, rounds int64
-	for i := 0; i < np; i++ {
-		if ctx != nil {
-			if err := ctx.Err(); err != nil {
-				st.AddWork(work)
-				st.AddRounds(rounds)
-				return nil, err
-			}
-		}
-		e.firePhase()
-		_, edges := e.schedule.PhaseAt(i)
-		for _, ed := range edges {
-			from := dist[ed.From*k : ed.From*k+k]
-			to := dist[ed.To*k : ed.To*k+k]
-			for j, du := range from {
-				if d := du + ed.W; d < to[j] {
-					to[j] = d
-				}
-			}
-		}
-		work += int64(len(edges)) * int64(k)
-		rounds++
-	}
-	st.AddWork(work)
-	st.AddRounds(rounds)
-	out := make([][]float64, k)
-	for j := range out {
-		row := make([]float64, n)
-		for v := 0; v < n; v++ {
-			row[v] = dist[v*k+j]
-		}
-		out[j] = row
 	}
 	return out, nil
 }

@@ -176,14 +176,35 @@ func TestEngineNegativeCycleDetection(t *testing.T) {
 	}
 }
 
+// TestScheduleWorkMatchesRun pins the counted-work identity under
+// convergence pruning: executed plus skipped cost reconciles exactly with
+// the static schedule, and the skipped side is genuinely non-trivial on a
+// grid (the ℓ-post sweeps converge early).
 func TestScheduleWorkMatchesRun(t *testing.T) {
 	eng, _ := buildGridEngine(t, []int{12, 12}, gen.UniformWeights(1, 2), 1, Config{})
 	st := &pram.Stats{}
 	eng.SSSP(0, st)
-	if st.Work() != eng.Schedule().WorkPerSource() {
-		t.Fatalf("counted work %d != schedule estimate %d", st.Work(), eng.Schedule().WorkPerSource())
+	if got := st.Work() + st.SkippedWork(); got != eng.Schedule().WorkPerSource() {
+		t.Fatalf("executed %d + skipped %d = %d != schedule estimate %d",
+			st.Work(), st.SkippedWork(), got, eng.Schedule().WorkPerSource())
 	}
-	if int(st.Rounds()) != eng.Schedule().Phases() {
-		t.Fatalf("counted rounds %d != phases %d", st.Rounds(), eng.Schedule().Phases())
+	if got := int(st.Rounds() + st.SkippedRounds()); got != eng.Schedule().Phases() {
+		t.Fatalf("executed %d + skipped %d rounds != phases %d",
+			st.Rounds(), st.SkippedRounds(), eng.Schedule().Phases())
+	}
+	if st.SkippedRounds() == 0 {
+		t.Fatal("expected the ℓ-block early exit to skip at least one phase on a grid query")
+	}
+	// The reference relaxer executes everything and must agree bit-for-bit.
+	stRef := &pram.Stats{}
+	ref := eng.SSSPReference(0, stRef)
+	if stRef.Work() != eng.Schedule().WorkPerSource() || stRef.SkippedWork() != 0 {
+		t.Fatalf("reference work %d (skipped %d), want full %d",
+			stRef.Work(), stRef.SkippedWork(), eng.Schedule().WorkPerSource())
+	}
+	for v, d := range eng.SSSP(0, nil) {
+		if d != ref[v] {
+			t.Fatalf("optimized dist[%d]=%v, reference %v", v, d, ref[v])
+		}
 	}
 }

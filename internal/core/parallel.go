@@ -1,12 +1,40 @@
 package core
 
 import (
+	"context"
 	"math"
 	"sync/atomic"
 
-	"sepsp/internal/graph"
 	"sepsp/internal/pram"
 )
+
+// parallelState is the shared per-query state of SSSPParallel's worker
+// body; like batchedState it lives in the pooled queryWS next to its cached
+// ForChunked closure, so a steady-state call allocates only its result.
+type parallelState struct {
+	bucket *soaBucket
+	cells  []uint64
+}
+
+// relax is the ForChunked body: worker owns head-runs [lo, hi) of the
+// current bucket. The run's head distance is loaded atomically once and
+// all-+Inf runs are skipped; both stay exact under concurrency because any
+// value a worker reads is the weight of a real path (a stale read can only
+// delay an improvement to a later phase, never invent one).
+func (s *parallelState) relax(lo, hi int) {
+	b := s.bucket
+	cells := s.cells
+	heads, off, to, ws := b.heads, b.off, b.to, b.w
+	for r := lo; r < hi; r++ {
+		du := math.Float64frombits(atomic.LoadUint64(&cells[heads[r]]))
+		if math.IsInf(du, 1) {
+			continue
+		}
+		for j := off[r]; j < off[r+1]; j++ {
+			atomicMinFloat(&cells[to[j]], du+ws[j])
+		}
+	}
+}
 
 // SSSPParallel runs the §3.2 scheduled query with every phase's relaxations
 // executed concurrently on the engine's executor — the within-phase
@@ -18,33 +46,67 @@ import (
 // the float bit pattern). Extra relaxations caused by same-phase visibility
 // can only move a cell closer to the true distance — every written value is
 // the weight of an actual path — so the result is exactly SSSP's.
+//
+// Unlike the sequential path, SSSPParallel does not take the ℓ-block
+// convergence early exit: whether a concurrent sweep observed "no change"
+// depends on worker interleaving, and pruning on it would make counted work
+// scheduling-dependent — breaking the pram package's determinism contract.
+// All phases execute, so Work here equals the schedule's static
+// WorkPerSource (the sequential path's Work+SkippedWork).
 func (e *Engine) SSSPParallel(src int, st *pram.Stats) []float64 {
+	dist, _ := e.SSSPParallelContext(nil, src, st)
+	return dist
+}
+
+// SSSPParallelContext is SSSPParallel with cooperative cancellation (ctx
+// polled between phases; nil skips polling). The atomic cell buffer comes
+// from the engine's workspace pool, so the steady-state heap cost of a call
+// is one allocation — the returned distance slice.
+func (e *Engine) SSSPParallelContext(ctx context.Context, src int, st *pram.Stats) ([]float64, error) {
 	n := e.g.N()
-	cells := make([]uint64, n)
+	ws := e.getWS()
+	defer e.putWS(ws)
+	cells := ws.growCells(n)
 	inf := math.Float64bits(math.Inf(1))
 	for i := range cells {
 		cells[i] = inf
 	}
 	cells[src] = math.Float64bits(0)
-	e.schedule.Run(func(edges []graph.Edge) {
-		e.ex.ForChunked(len(edges), func(lo, hi int) {
-			for i := lo; i < hi; i++ {
-				ed := edges[i]
-				du := math.Float64frombits(atomic.LoadUint64(&cells[ed.From]))
-				if math.IsInf(du, 1) {
-					continue
-				}
-				atomicMinFloat(&cells[ed.To], du+ed.W)
+	ps := &ws.pst
+	*ps = parallelState{cells: cells}
+	fn := ws.runFn()
+	// On a single-worker executor the chunk dispatch buys nothing; run the
+	// body inline (the executor's per-round panic cell would otherwise cost
+	// one heap allocation per phase).
+	par := e.ex.P() > 1
+	np := e.schedule.Phases()
+	var work, rounds int64
+	for i := 0; i < np; i++ {
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				st.AddWork(work)
+				st.AddRounds(rounds)
+				return nil, err
 			}
-		})
-		st.AddWork(int64(len(edges)))
-		st.AddRounds(1)
-	})
+		}
+		e.firePhase()
+		_, b := e.schedule.phaseBucketAt(i)
+		ps.bucket = b
+		if par {
+			e.ex.ForChunked(b.runs(), fn)
+		} else {
+			ps.relax(0, b.runs())
+		}
+		work += int64(b.edges())
+		rounds++
+	}
+	st.AddWork(work)
+	st.AddRounds(rounds)
 	dist := make([]float64, n)
 	for i, c := range cells {
 		dist[i] = math.Float64frombits(c)
 	}
-	return dist
+	return dist, nil
 }
 
 // atomicMinFloat lowers *addr (a float64 bit pattern) to v if v is smaller,

@@ -45,13 +45,24 @@ func TestSSSPParallelMatchesSequential(t *testing.T) {
 	}
 }
 
+// TestSSSPParallelCountsSameWork: SSSPParallel deliberately runs every
+// phase (pruning on a concurrent "changed" observation would make counted
+// work scheduling-dependent), so its totals equal the sequential path's
+// executed + skipped cost — both sides of the same static schedule.
 func TestSSSPParallelCountsSameWork(t *testing.T) {
 	eng, _ := buildGridEngine(t, []int{10, 10}, gen.UniformWeights(1, 2), 3, Config{Ex: pram.NewExecutor(8)})
 	st1, st2 := &pram.Stats{}, &pram.Stats{}
 	eng.SSSP(0, st1)
 	eng.SSSPParallel(0, st2)
-	if st1.Work() != st2.Work() || st1.Rounds() != st2.Rounds() {
-		t.Fatalf("accounting differs: (%d,%d) vs (%d,%d)", st1.Work(), st1.Rounds(), st2.Work(), st2.Rounds())
+	if st1.Work()+st1.SkippedWork() != st2.Work() ||
+		st1.Rounds()+st1.SkippedRounds() != st2.Rounds() {
+		t.Fatalf("accounting differs: sequential (%d+%d, %d+%d) vs parallel (%d,%d)",
+			st1.Work(), st1.SkippedWork(), st1.Rounds(), st1.SkippedRounds(),
+			st2.Work(), st2.Rounds())
+	}
+	if st2.SkippedWork() != 0 || st2.SkippedRounds() != 0 {
+		t.Fatalf("parallel path reported skipped cost (%d,%d), want none",
+			st2.SkippedWork(), st2.SkippedRounds())
 	}
 }
 

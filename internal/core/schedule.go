@@ -7,6 +7,8 @@
 package core
 
 import (
+	"math"
+
 	"sepsp/internal/graph"
 	"sepsp/internal/separator"
 )
@@ -37,19 +39,185 @@ type Schedule struct {
 	same   [][]graph.Edge // same[L]: level(from) == level(to) == L
 	desc   [][]graph.Edge // desc[L]: level(from) == L > level(to)
 	asc    [][]graph.Edge // asc[L]:  level(to) == L > level(from)
+	runs   int            // total head runs across all buckets
+	// prevRuns counts the run slots of the tracked buckets (eAll and every
+	// same[L]), which the arena packs first: the run-delta tracker only
+	// needs resetting on [0, prevRuns).
+	prevRuns int
+
+	// ℓ-block frontier support: the eAll bucket's runs are grouped into
+	// blocks of eAllBlockRuns consecutive runs, and eAllBlockOf maps each vertex to
+	// the block holding its eAll run — or to the dummy slot eAllBlocks
+	// (one past the last real block) for vertices heading no original
+	// edge, so marking needs no branch. When a relaxation improves
+	// dist[v], the only eAll runs that can stop being no-ops are v's, so
+	// the kernels mark eAllBlockOf[v] dirty and the 2ℓ ℓ-block sweeps
+	// skip clean blocks wholesale (see relaxEAllBlocks).
+	eAllBlocks  int
+	eAllBlockOf []int32
+
+	// SoA phase arena: every bucket above, flattened into one contiguous
+	// allocation with heads/to as int32 and weights as float64 in separate
+	// slices, edges grouped by head vertex with run-length-encoded heads.
+	// The []graph.Edge views are re-materialized from the arena, so both
+	// forms relax edges in the same canonical order (see DESIGN.md "Query
+	// performance").
+	soaEAll soaBucket
+	soaSame []soaBucket
+	soaDesc []soaBucket
+	soaAsc  []soaBucket
+}
+
+// soaBucket is one phase bucket in structure-of-arrays form. Edges sharing a
+// head vertex form one run: run r has head heads[r] and its (to, w) pairs
+// occupy positions [off[r], off[r+1]). The hot loop loads dist[head] once
+// per run, skips whole +Inf runs, and streams to/w sequentially.
+type soaBucket struct {
+	heads []int32 // distinct head (from) vertices, in first-appearance order
+	off   []int32 // len(heads)+1 run boundaries into to/w
+	to    []int32
+	w     []float64
+
+	// rle fuses each run's header into one 8-byte record (head vertex and
+	// exclusive end offset; the start offset is the previous record's end,
+	// 0 for run 0). The hot kernels iterate this single sequential stream
+	// instead of loading heads[r] and off[r+1] from two arrays.
+	rle []headRun
+
+	// runBase is this bucket's first slot in the schedule-wide run
+	// numbering [0, Schedule.runs): run r of this bucket owns global slot
+	// runBase+r. The query workspace keeps one prev[dist[head]] tracker
+	// entry per global run (see relaxBucketTracked).
+	runBase int32
+}
+
+// headRun is one fused run header: h heads the run, whose (to, w) pairs end
+// at exclusive offset hi.
+type headRun struct {
+	h, hi int32
+}
+
+// edges returns the number of edges in the bucket.
+func (b *soaBucket) edges() int { return len(b.to) }
+
+// runs returns the number of distinct-head runs in the bucket.
+func (b *soaBucket) runs() int { return len(b.heads) }
+
+// materialize rebuilds the bucket's []graph.Edge view in arena order.
+func (b *soaBucket) materialize() []graph.Edge {
+	out := make([]graph.Edge, 0, len(b.to))
+	for r := range b.heads {
+		f := int(b.heads[r])
+		for j := b.off[r]; j < b.off[r+1]; j++ {
+			out = append(out, graph.Edge{From: f, To: int(b.to[j]), W: b.w[j]})
+		}
+	}
+	return out
+}
+
+// soaBuilder packs buckets into shared arena slices. runOf is an n-sized
+// scratch mapping a vertex to its run index within the bucket being built
+// (-1 outside a build), so grouping is O(bucket size) with no per-bucket
+// n-sized work.
+type soaBuilder struct {
+	runOf []int32
+	heads []int32
+	off   []int32
+	rle   []headRun
+	to    []int32
+	w     []float64
+	hPos  int // cursor into heads/rle (off shares it, shifted by bucket count)
+	oPos  int
+	ePos  int // cursor into to/w
+}
+
+func newSOABuilder(n, totalEdges, buckets int) *soaBuilder {
+	if int64(n) > math.MaxInt32 {
+		panic("core: graph too large for the int32 phase arena")
+	}
+	sb := &soaBuilder{
+		runOf: make([]int32, n),
+		heads: make([]int32, totalEdges),
+		off:   make([]int32, totalEdges+buckets),
+		rle:   make([]headRun, totalEdges),
+		to:    make([]int32, totalEdges),
+		w:     make([]float64, totalEdges),
+	}
+	for i := range sb.runOf {
+		sb.runOf[i] = -1
+	}
+	return sb
+}
+
+// build groups edges by head into the next arena region and returns the
+// bucket view. Within a run, edges keep their relative input order.
+func (sb *soaBuilder) build(edges []graph.Edge) soaBucket {
+	heads := sb.heads[sb.hPos:sb.hPos]
+	off := sb.off[sb.oPos:sb.oPos]
+	// Pass 1: assign run ids in first-appearance order, count run sizes.
+	for _, e := range edges {
+		if sb.runOf[e.From] < 0 {
+			sb.runOf[e.From] = int32(len(heads))
+			heads = append(heads, int32(e.From))
+			off = append(off, 0)
+		}
+		off[sb.runOf[e.From]]++
+	}
+	// Prefix-sum the counts into run start cursors.
+	base := int32(sb.ePos)
+	for r := range off {
+		c := off[r]
+		off[r] = base
+		base += c
+	}
+	off = append(off, base)
+	// Pass 2: scatter edges to their run slots.
+	cur := make([]int32, len(heads))
+	copy(cur, off[:len(heads)])
+	for _, e := range edges {
+		p := sb.runOf[e.From]
+		sb.to[cur[p]] = int32(e.To)
+		sb.w[cur[p]] = e.W
+		cur[p]++
+	}
+	b := soaBucket{
+		heads:   heads,
+		off:     off,
+		to:      sb.to[sb.ePos : sb.ePos+len(edges)],
+		w:       sb.w[sb.ePos : sb.ePos+len(edges)],
+		runBase: int32(sb.hPos),
+	}
+	// Rebase offsets to be bucket-relative and reset the scratch.
+	for r := range b.off {
+		b.off[r] -= int32(sb.ePos)
+	}
+	b.rle = sb.rle[sb.hPos : sb.hPos+len(heads)]
+	for r := range heads {
+		b.rle[r] = headRun{h: heads[r], hi: b.off[r+1]}
+	}
+	for _, h := range heads {
+		sb.runOf[h] = -1
+	}
+	sb.hPos += len(heads)
+	sb.oPos += len(off)
+	sb.ePos += len(edges)
+	return b
 }
 
 // NewSchedule builds the phase buckets for the union of the original edges
 // and the shortcut edges. l is the ℓ of Theorem 3.1 (max leaf diameter);
-// levels come from the decomposition tree.
+// levels come from the decomposition tree. Buckets are stored both as the
+// SoA arena the hot relaxers stream and as []graph.Edge views materialized
+// in the same canonical head-grouped order, so every executor relaxes the
+// identical edge sequence.
 func NewSchedule(t *separator.Tree, original, shortcuts []graph.Edge, l int) *Schedule {
+	h := t.Height + 1
 	s := &Schedule{
 		height: t.Height,
 		l:      l,
-		eAll:   original,
-		same:   make([][]graph.Edge, t.Height+1),
-		desc:   make([][]graph.Edge, t.Height+1),
-		asc:    make([][]graph.Edge, t.Height+1),
+		same:   make([][]graph.Edge, h),
+		desc:   make([][]graph.Edge, h),
+		asc:    make([][]graph.Edge, h),
 	}
 	bucket := func(e graph.Edge) {
 		lu, lv := t.Level(e.From), t.Level(e.To)
@@ -73,7 +241,61 @@ func NewSchedule(t *separator.Tree, original, shortcuts []graph.Edge, l int) *Sc
 	for _, e := range shortcuts {
 		bucket(e)
 	}
+	total := len(original)
+	for L := 0; L < h; L++ {
+		total += len(s.same[L]) + len(s.desc[L]) + len(s.asc[L])
+	}
+	// The tracked buckets (eAll, then every same[L]) are built first so
+	// their global run slots form the prefix [0, prevRuns) — the per-query
+	// +Inf reset of the run-delta tracker then touches only slots a tracked
+	// kernel can read, not the desc/asc runs that never consult it.
+	sb := newSOABuilder(t.N(), total, 1+3*h)
+	s.soaEAll = sb.build(original)
+	s.eAll = s.soaEAll.materialize()
+	s.soaSame = make([]soaBucket, h)
+	s.soaDesc = make([]soaBucket, h)
+	s.soaAsc = make([]soaBucket, h)
+	for L := 0; L < h; L++ {
+		s.soaSame[L] = sb.build(s.same[L])
+		s.same[L] = s.soaSame[L].materialize()
+	}
+	s.prevRuns = sb.hPos
+	for L := 0; L < h; L++ {
+		s.soaDesc[L] = sb.build(s.desc[L])
+		s.desc[L] = s.soaDesc[L].materialize()
+		s.soaAsc[L] = sb.build(s.asc[L])
+		s.asc[L] = s.soaAsc[L].materialize()
+	}
+	s.runs = sb.hPos
+	s.eAllBlocks = (len(s.soaEAll.heads) + eAllBlockRuns - 1) / eAllBlockRuns
+	s.eAllBlockOf = make([]int32, t.N())
+	for v := range s.eAllBlockOf {
+		s.eAllBlockOf[v] = int32(s.eAllBlocks) // dummy: no original out-edge
+	}
+	for r, h := range s.soaEAll.heads {
+		s.eAllBlockOf[h] = int32(r / eAllBlockRuns)
+	}
 	return s
+}
+
+// eAllBlockRuns is the ℓ-block frontier granularity: runs per dirty flag.
+// Eight consecutive runs ≈ one leaf's worth of vertices on the LeafSize-8
+// workloads the schedule targets, fine enough that a converged region's
+// flags stay clear while one still-propagating leaf keeps only its own
+// blocks live; the per-sweep cost of probing all flags is runs/8
+// predictable byte loads, amortized far below the run scans they replace.
+const eAllBlockRuns = 16
+
+// seedDirty marks the eAll block of every finite-distance vertex of init.
+// A query must call this on its block flags before the first phase: writes
+// to dist made outside the kernels (the source vertex; every finite entry
+// of an SSSPFrom initial vector) are improvements the kernels never saw.
+func (s *Schedule) seedDirty(blockDirty []bool, init []float64) {
+	for v, dv := range init {
+		if !math.IsInf(dv, 1) {
+			blockDirty[s.eAllBlockOf[v]] = true
+		}
+	}
 }
 
 // Phases returns the total number of relaxation phases one query performs:
@@ -156,6 +378,51 @@ func (s *Schedule) PhaseAt(i int) (PhaseInfo, []graph.Edge) {
 	default:
 		return PhaseInfo{Index: i, Kind: PhaseEllPost, Level: -1}, s.eAll
 	}
+}
+
+// phaseBucketAt is PhaseAt in arena form: the identity and SoA bucket of
+// phase i. The bucket holds the same edges as PhaseAt's slice, in the same
+// canonical order — hot relaxers stream the arena, observability keeps the
+// AoS view.
+func (s *Schedule) phaseBucketAt(i int) (PhaseInfo, *soaBucket) {
+	h := s.height + 1
+	switch {
+	case i < s.l:
+		return PhaseInfo{Index: i, Kind: PhaseEllPre, Level: -1}, &s.soaEAll
+	case i < s.l+2*h:
+		j := i - s.l
+		L := s.height - j/2
+		if j%2 == 0 {
+			return PhaseInfo{Index: i, Kind: PhaseSameDown, Level: L}, &s.soaSame[L]
+		}
+		return PhaseInfo{Index: i, Kind: PhaseDesc, Level: L}, &s.soaDesc[L]
+	case i < s.l+4*h:
+		j := i - s.l - 2*h
+		L := j / 2
+		if j%2 == 0 {
+			return PhaseInfo{Index: i, Kind: PhaseAsc, Level: L}, &s.soaAsc[L]
+		}
+		return PhaseInfo{Index: i, Kind: PhaseSameUp, Level: L}, &s.soaSame[L]
+	default:
+		return PhaseInfo{Index: i, Kind: PhaseEllPost, Level: -1}, &s.soaEAll
+	}
+}
+
+// ellBlock returns the bounds [start, end) of the ℓ-sweep block containing
+// phase i, with ok=false when phase i is a bitonic (level-scoped) phase.
+// The two ℓ-blocks re-scan the same bucket every sweep, which is what makes
+// them — and only them — eligible for the convergence early exit: a sweep
+// that relaxes nothing proves the remaining sweeps of the block are no-ops
+// (monotone-relaxation fixpoint, see DESIGN.md "Query performance").
+func (s *Schedule) ellBlock(i int) (start, end int, ok bool) {
+	h := s.height + 1
+	switch {
+	case i < s.l:
+		return 0, s.l, true
+	case i >= s.l+4*h:
+		return s.l + 4*h, s.Phases(), true
+	}
+	return 0, 0, false
 }
 
 // RunPhases executes the schedule like Run, additionally passing each

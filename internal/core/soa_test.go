@@ -1,0 +1,165 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"sepsp/internal/graph"
+	"sepsp/internal/graph/gen"
+	"sepsp/internal/pram"
+	"sepsp/internal/separator"
+)
+
+// TestSoAArenaMatchesAoSViews checks the two forms of every phase bucket
+// describe the same edge sequence: the SoA arena expanded run-by-run must
+// equal the materialized []graph.Edge view element for element, and the
+// run-length encoding must be well-formed (distinct heads, dense offsets).
+func TestSoAArenaMatchesAoSViews(t *testing.T) {
+	eng, _ := buildGridEngine(t, []int{11, 9}, gen.UniformWeights(0.2, 3), 4, Config{})
+	s := eng.Schedule()
+	for i := 0; i < s.Phases(); i++ {
+		phA, edges := s.PhaseAt(i)
+		phB, b := s.phaseBucketAt(i)
+		if phA != phB {
+			t.Fatalf("phase %d: PhaseAt info %+v != phaseBucketAt info %+v", i, phA, phB)
+		}
+		if b.edges() != len(edges) {
+			t.Fatalf("phase %d: arena holds %d edges, view %d", i, b.edges(), len(edges))
+		}
+		if len(b.off) != len(b.heads)+1 || b.off[0] != 0 || int(b.off[len(b.heads)]) != len(b.to) {
+			t.Fatalf("phase %d: malformed run offsets %v for %d heads", i, b.off, len(b.heads))
+		}
+		seen := map[int32]bool{}
+		pos := 0
+		for r := range b.heads {
+			if seen[b.heads[r]] {
+				t.Fatalf("phase %d: head %d appears in two runs", i, b.heads[r])
+			}
+			seen[b.heads[r]] = true
+			for j := b.off[r]; j < b.off[r+1]; j++ {
+				want := edges[pos]
+				if int(b.heads[r]) != want.From || int(b.to[j]) != want.To || b.w[j] != want.W {
+					t.Fatalf("phase %d edge %d: arena (%d,%d,%v) != view %+v",
+						i, pos, b.heads[r], b.to[j], b.w[j], want)
+				}
+				pos++
+			}
+		}
+	}
+}
+
+// TestSourcesBatchedBitIdenticalAcrossExecutors: the lane partition gives
+// every worker a disjoint column range, so a wave's result must be the same
+// bit pattern for every worker count — including k large enough to engage
+// the parallel dispatch — and must equal the solo optimized query and the
+// naive reference relaxer.
+func TestSourcesBatchedBitIdenticalAcrossExecutors(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	grid := gen.NewGrid([]int{13, 12}, gen.UniformWeights(0.1, 4), rng)
+	g, _ := gen.PotentialShift(grid.G, 6, rng) // negative weights too
+	sk := graph.NewSkeleton(g)
+	tree, err := separator.Build(sk, &separator.CoordinateFinder{Coord: grid.Coord}, separator.Options{LeafSize: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := 2 * batchedParallelMinLanes
+	srcs := make([]int, k)
+	for j := range srcs {
+		srcs[j] = rng.Intn(g.N())
+	}
+	var base [][]float64
+	var baseWork int64
+	for _, p := range []int{1, 2, 4} {
+		eng, err := NewEngine(g, tree, Config{Ex: pram.NewExecutor(p)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := &pram.Stats{}
+		rows := eng.SourcesBatched(srcs, st)
+		if base == nil {
+			base = rows
+			baseWork = st.Work()
+			for j, src := range srcs {
+				ref := eng.SSSPReference(src, nil)
+				for v := range ref {
+					if rows[j][v] != ref[v] {
+						t.Fatalf("P=1 src=%d v=%d: batched %v != reference %v", src, v, rows[j][v], ref[v])
+					}
+				}
+			}
+			continue
+		}
+		if st.Work() != baseWork {
+			t.Fatalf("P=%d counted work %d, P=1 counted %d", p, st.Work(), baseWork)
+		}
+		for j := range rows {
+			for v := range rows[j] {
+				if rows[j][v] != base[j][v] {
+					t.Fatalf("P=%d src=%d v=%d: %v != P=1 %v", p, srcs[j], v, rows[j][v], base[j][v])
+				}
+			}
+		}
+	}
+}
+
+// TestSourcesBatchedPerLanePruningMatchesSolo: per-lane convergence inside
+// a wave must mirror the solo queries exactly — summed executed and skipped
+// cost both reconcile, and a wave of k lanes accounts for exactly k·
+// WorkPerSource in total.
+func TestSourcesBatchedPerLanePruningMatchesSolo(t *testing.T) {
+	eng, g := buildGridEngine(t, []int{10, 10}, gen.UniformWeights(0.5, 2), 7, Config{})
+	srcs := []int{0, g.N() / 2, g.N() - 1, 17}
+	k := int64(len(srcs))
+
+	solo := &pram.Stats{}
+	for _, src := range srcs {
+		eng.SSSP(src, solo)
+	}
+	wave := &pram.Stats{}
+	eng.SourcesBatched(srcs, wave)
+
+	if wave.Work() != solo.Work() {
+		t.Fatalf("wave executed %d relaxations, solo queries %d", wave.Work(), solo.Work())
+	}
+	if wave.SkippedWork() != solo.SkippedWork() {
+		t.Fatalf("wave avoided %d relaxations, solo queries %d", wave.SkippedWork(), solo.SkippedWork())
+	}
+	if total := wave.Work() + wave.SkippedWork(); total != k*eng.Schedule().WorkPerSource() {
+		t.Fatalf("wave total %d != k·WorkPerSource %d", total, k*eng.Schedule().WorkPerSource())
+	}
+	if total := wave.Rounds() + wave.SkippedRounds(); total != int64(eng.Schedule().Phases()) {
+		t.Fatalf("wave rounds %d + skipped %d != Phases %d", wave.Rounds(), wave.SkippedRounds(), eng.Schedule().Phases())
+	}
+}
+
+// TestSSSPParallelContextCancel: the parallel query honors mid-run
+// cancellation with the same poll-per-phase contract as the sequential one.
+func TestSSSPParallelContextCancel(t *testing.T) {
+	eng := contextTestEngine(t)
+	for _, k := range []int{0, 2, 5} {
+		st := &pram.Stats{}
+		dist, err := eng.SSSPParallelContext(&countdownCtx{n: k}, 0, st)
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("k=%d: err = %v, want context.Canceled", k, err)
+		}
+		if dist != nil {
+			t.Fatalf("k=%d: got a distance vector on cancellation", k)
+		}
+		if got := st.Rounds(); got != int64(k) {
+			t.Fatalf("k=%d: ran %d phases before stopping, want exactly %d", k, got, k)
+		}
+	}
+	// A surviving context completes with the full answer.
+	want := eng.SSSP(3, nil)
+	got, err := eng.SSSPParallelContext(context.Background(), 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range want {
+		if !almostEqual(got[v], want[v]) {
+			t.Fatalf("dist[%d] = %v want %v", v, got[v], want[v])
+		}
+	}
+}

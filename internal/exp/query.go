@@ -1,0 +1,210 @@
+package exp
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"strconv"
+	"time"
+
+	"sepsp/internal/core"
+	"sepsp/internal/pram"
+)
+
+// querySpeedupFloor is the portable part of the E-query gate: the optimized
+// single-source query (SoA phase arena + convergence pruning) must beat the
+// retained naive reference relaxer by at least this factor, single thread,
+// at the largest measured n. The recorded baseline machine reaches >= 1.5x
+// (the acceptance target of the query-path overhaul, see DESIGN.md "Query
+// performance"); the gate demands only a machine-independent floor.
+const querySpeedupFloor = 1.3
+
+// waveScalingFloor is the E-query-wave gate: a k=32 lane-parallel wave on
+// P=4 workers must beat the same wave on P=1 — the lane partition must buy
+// real scaling, not just not lose. Skipped on single-CPU runners where no
+// scaling is physically possible.
+const waveScalingFloor = 1.05
+
+// timeQuery reports the best per-call wall clock of run over kernelReps
+// batches of kernelBatch calls (one warmup call first, mirroring the
+// testing.B harness), plus the per-call Mallocs delta of the best batch.
+func timeQuery(run func()) (time.Duration, int64) {
+	run() // warmup: workspace pools fill here
+	best := time.Duration(math.MaxInt64)
+	var allocs int64
+	var m0, m1 runtime.MemStats
+	for rep := 0; rep < kernelReps; rep++ {
+		runtime.GC()
+		runtime.ReadMemStats(&m0)
+		start := time.Now()
+		for i := 0; i < kernelBatch; i++ {
+			run()
+		}
+		el := time.Since(start) / kernelBatch
+		runtime.ReadMemStats(&m1)
+		if el < best {
+			best = el
+			allocs = int64(m1.Mallocs-m0.Mallocs) / kernelBatch
+		}
+	}
+	return best, allocs
+}
+
+// QueryExperiment (E-query) measures the query path end to end: the
+// optimized single-source executor (SoA phase arena, per-run head caching,
+// ℓ-block convergence pruning) against the retained naive reference relaxer
+// on the same schedule, and the lane-parallel batched wave's scaling across
+// worker counts. Executed and avoided work are counted-model quantities —
+// deterministic, so the gate pins them exactly; wall clock and speedup are
+// the machine-local perf baseline BENCH_query.json records.
+func QueryExperiment(scale int) (*Result, error) {
+	if scale < 1 {
+		scale = 1
+	}
+	qt := &Table{
+		ID:     "E-query-sssp",
+		Title:  "Single-source query: optimized (SoA + pruning) vs naive reference relaxer (single thread)",
+		Header: []string{"n", "path", "time/query", "work", "avoided", "allocs", "speedup"},
+		Notes: []string{
+			fmt.Sprintf("best of %d batches of %d queries; gate: work and avoided exact vs baseline, largest-n speedup >= %.2f (baseline machine target: >= 1.5x), allocs <= %.1fx baseline + %d",
+				kernelReps, kernelBatch, querySpeedupFloor, allocSlack, allocAbsSlack),
+		},
+	}
+	var largestN int
+	for _, n := range []int{1024 * scale, 4096 * scale} {
+		wl, err := MuWorkload(0.5, n, 23)
+		if err != nil {
+			return nil, err
+		}
+		eng, err := core.NewEngine(wl.G, wl.Tree, core.Config{Ex: pram.Sequential})
+		if err != nil {
+			return nil, err
+		}
+		nn := wl.G.N()
+		largestN = nn
+		src := nn / 2
+		stR, stO := &pram.Stats{}, &pram.Stats{}
+		eng.SSSPReference(src, stR)
+		eng.SSSP(src, stO)
+		tR, aR := timeQuery(func() { eng.SSSPReference(src, nil) })
+		tO, aO := timeQuery(func() { eng.SSSP(src, nil) })
+		qt.Rows = append(qt.Rows,
+			[]string{d(int64(nn)), "reference", tR.String(), d(stR.Work()), d(stR.SkippedWork()), d(aR), "-"},
+			[]string{d(int64(nn)), "optimized", tO.String(), d(stO.Work()), d(stO.SkippedWork()), d(aO),
+				fmt.Sprintf("%.2f", tR.Seconds()/tO.Seconds())},
+		)
+	}
+	qt.Notes = append(qt.Notes, fmt.Sprintf("largest n this run: %d (speedup floor applies there)", largestN))
+
+	const waveK = 32
+	wt := &Table{
+		ID:     "E-query-wave",
+		Title:  fmt.Sprintf("Batched wave: lane-parallel scaling, k=%d lanes", waveK),
+		Header: []string{"n", "k", "P", "time/wave", "work", "speedup"},
+		Notes: []string{
+			fmt.Sprintf("gate: counted work exact vs baseline and independent of P; P=4 speedup >= %.2f (skipped on <2-CPU runners)", waveScalingFloor),
+		},
+	}
+	wl, err := MuWorkload(0.5, 4096*scale, 23)
+	if err != nil {
+		return nil, err
+	}
+	srcs := make([]int, waveK)
+	for j := range srcs {
+		srcs[j] = (j * 37) % wl.G.N()
+	}
+	var t1 time.Duration
+	for _, p := range []int{1, 4} {
+		eng, err := core.NewEngine(wl.G, wl.Tree, core.Config{Ex: pram.NewExecutor(p)})
+		if err != nil {
+			return nil, err
+		}
+		st := &pram.Stats{}
+		eng.SourcesBatched(srcs, st)
+		tW, _ := timeQuery(func() { eng.SourcesBatched(srcs, nil) })
+		sp := "-"
+		if p == 1 {
+			t1 = tW
+		} else {
+			sp = fmt.Sprintf("%.2f", t1.Seconds()/tW.Seconds())
+		}
+		wt.Rows = append(wt.Rows, []string{
+			d(int64(wl.G.N())), d(waveK), d(int64(p)), tW.String(), d(st.Work()), sp,
+		})
+	}
+	return &Result{Tables: []*Table{qt, wt}}, nil
+}
+
+// GateQuery compares a fresh E-query run against a recorded baseline
+// (BENCH_query.json) and returns the violations, empty when the gate
+// passes. Portable invariants only:
+//
+//   - executed and avoided work must match the baseline exactly, row by
+//     row — both halves of the pruning split are deterministic counted
+//     quantities, so any drift means the executors changed semantics;
+//   - wave work must additionally be independent of P (the lane partition
+//     never changes what is computed, only who computes it);
+//   - the optimized query must hold the speedup floor over the reference
+//     relaxer at the largest n on the current machine;
+//   - steady-state query allocations may not regress past the tolerance —
+//     the pooled workspaces pin them to O(1) per call;
+//   - the P=4 wave must scale past the floor, unless the runner cannot
+//     physically scale (<2 CPUs).
+//
+// Wall-clock columns are recorded for humans and deliberately not gated.
+func GateQuery(curr, base *Result) []string {
+	var bad []string
+
+	cq, bq := tableByID(curr, "E-query-sssp"), tableByID(base, "E-query-sssp")
+	if cq == nil || bq == nil {
+		return []string{"sssp table missing from current run or baseline"}
+	}
+	bad = append(bad, matchColumn(cq, bq, 2, "work", exactMatch)...)
+	bad = append(bad, matchColumn(cq, bq, 2, "avoided", exactMatch)...)
+	bad = append(bad, matchColumn(cq, bq, 2, "allocs", func(c, b float64) string {
+		if limit := b*allocSlack + allocAbsSlack; c > limit {
+			return fmt.Sprintf("%.0f allocs, baseline %.0f (limit %.0f)", c, b, limit)
+		}
+		return ""
+	})...)
+	nCol, pCol, sCol := colIndex(cq, "n"), colIndex(cq, "path"), colIndex(cq, "speedup")
+	bestN, bestSpeedup := -1.0, ""
+	for _, row := range cq.Rows {
+		if row[pCol] != "optimized" {
+			continue
+		}
+		if n, err := strconv.ParseFloat(row[nCol], 64); err == nil && n > bestN {
+			bestN, bestSpeedup = n, row[sCol]
+		}
+	}
+	if s, err := strconv.ParseFloat(bestSpeedup, 64); err != nil || s < querySpeedupFloor {
+		bad = append(bad, fmt.Sprintf("sssp n=%.0f optimized speedup %s below floor %.2f", bestN, bestSpeedup, querySpeedupFloor))
+	}
+
+	cw, bw := tableByID(curr, "E-query-wave"), tableByID(base, "E-query-wave")
+	if cw == nil || bw == nil {
+		return append(bad, "wave table missing from current run or baseline")
+	}
+	bad = append(bad, matchColumn(cw, bw, 3, "work", exactMatch)...)
+	wCol := colIndex(cw, "work")
+	byNK := map[string]string{}
+	for _, row := range cw.Rows {
+		key := rowKey(row, 2)
+		if prev, ok := byNK[key]; ok && prev != row[wCol] {
+			bad = append(bad, fmt.Sprintf("wave [%s] work differs across P: %s vs %s", key, prev, row[wCol]))
+		}
+		byNK[key] = row[wCol]
+	}
+	if runtime.NumCPU() >= 2 {
+		pIdx, spIdx := colIndex(cw, "P"), colIndex(cw, "speedup")
+		for _, row := range cw.Rows {
+			if row[pIdx] != "4" {
+				continue
+			}
+			if s, err := strconv.ParseFloat(row[spIdx], 64); err != nil || s < waveScalingFloor {
+				bad = append(bad, fmt.Sprintf("wave P=4 speedup %s below floor %.2f", row[spIdx], waveScalingFloor))
+			}
+		}
+	}
+	return bad
+}

@@ -109,6 +109,9 @@ var registry = map[string]Runner{
 	"E-build": func(ex *pram.Executor, scale int, _ *obs.Sink) (*Result, error) {
 		return BuildExperiment(ex, scale)
 	},
+	"E-query": func(_ *pram.Executor, scale int, _ *obs.Sink) (*Result, error) {
+		return QueryExperiment(scale)
+	},
 }
 
 // gates maps experiment ids to regression gates: a gate compares the
@@ -116,6 +119,7 @@ var registry = map[string]Runner{
 // (cmd/benchtab -gate) and returns the violations.
 var gates = map[string]func(curr, base *Result) []string{
 	"E-build": GateBuild,
+	"E-query": GateQuery,
 }
 
 // Gate compares a fresh result for id against a recorded baseline. The

@@ -167,6 +167,59 @@ func TestRecorderWrap(t *testing.T) {
 	}
 }
 
+// TestRecorderSwapEventsSurviveTrafficFlood: lifecycle events live in
+// their own ring, so a traffic burst orders of magnitude larger than the
+// main ring must not evict them, and the merged snapshot stays seq-ordered
+// with the swaps spliced where they happened.
+func TestRecorderSwapEventsSurviveTrafficFlood(t *testing.T) {
+	r := NewRecorder(16)
+	r.Record(Event{Kind: KindSwap, Epoch: 2, Source: -1})
+	for i := 0; i < 10_000; i++ {
+		r.Record(Event{Kind: KindQuery, Source: int32(i)})
+	}
+	r.Record(Event{Kind: KindSwap, Epoch: 3, Source: -1})
+	for i := 0; i < 10_000; i++ {
+		r.Record(Event{Kind: KindWave, Source: -1})
+	}
+	events := r.Snapshot()
+	var swaps []Event
+	lastSeq := uint64(0)
+	for _, e := range events {
+		if e.Seq <= lastSeq {
+			t.Fatalf("snapshot out of order: seq %d after %d", e.Seq, lastSeq)
+		}
+		lastSeq = e.Seq
+		if e.Kind == KindSwap {
+			swaps = append(swaps, e)
+		}
+	}
+	if len(swaps) != 2 {
+		t.Fatalf("got %d swap events after the flood, want 2 (snapshot len %d)", len(swaps), len(events))
+	}
+	if swaps[0].Epoch != 2 || swaps[0].Seq != 1 {
+		t.Fatalf("first swap = seq %d epoch %d, want seq 1 epoch 2", swaps[0].Seq, swaps[0].Epoch)
+	}
+	if swaps[1].Epoch != 3 || swaps[1].Seq != 10_002 {
+		t.Fatalf("second swap = seq %d epoch %d, want seq 10002 epoch 3", swaps[1].Seq, swaps[1].Epoch)
+	}
+	// Lifecycle ring wrap: only the newest lifecycleSlots swaps remain.
+	for i := 0; i < 40; i++ {
+		r.Record(Event{Kind: KindSwap, Epoch: uint64(10 + i), Source: -1})
+	}
+	swaps = swaps[:0]
+	for _, e := range r.Snapshot() {
+		if e.Kind == KindSwap {
+			swaps = append(swaps, e)
+		}
+	}
+	if len(swaps) != lifecycleSlots {
+		t.Fatalf("got %d swap events after wrap, want %d", len(swaps), lifecycleSlots)
+	}
+	if first := swaps[0].Epoch; first != uint64(10+40-lifecycleSlots) {
+		t.Fatalf("oldest surviving swap epoch = %d, want %d", first, 10+40-lifecycleSlots)
+	}
+}
+
 // TestRecorderFieldRoundTrip checks every packed field survives.
 func TestRecorderFieldRoundTrip(t *testing.T) {
 	r := NewRecorder(16)

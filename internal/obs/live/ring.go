@@ -142,20 +142,39 @@ type slot struct {
 // allocates. Snapshot walks the ring and skips slots a writer holds —
 // under a pathological wrap race (the ring lapped mid-read) an event may
 // be dropped from the snapshot, never corrupted.
+//
+// Lifecycle events (KindSwap) are rare but precious: a busy server's
+// query and wave traffic would lap them out of the main ring within
+// milliseconds of an epoch swap. They are stored in a small dedicated
+// ring instead, so the last lifecycleSlots of them survive any traffic
+// rate; Snapshot merges both rings back into one seq-ordered view.
 type Recorder struct {
 	mask   uint64
-	cursor atomic.Uint64 // tickets issued (1-based)
+	cursor atomic.Uint64 // tickets issued (1-based), shared by both rings
 	slots  []slot
+
+	lcMask   uint64
+	lcCursor atomic.Uint64 // lifecycle slots claimed
+	lcSlots  []slot
 }
 
+// lifecycleSlots is the dedicated lifecycle ring's capacity. Swaps arrive
+// at human timescales (reload timers, operator actions), so a handful of
+// slots spans far more wall clock than the whole traffic ring.
+const lifecycleSlots = 16
+
 // NewRecorder returns a recorder holding the most recent `size` events,
-// rounded up to a power of two (minimum 16).
+// rounded up to a power of two (minimum 16), plus the most recent
+// lifecycleSlots lifecycle events in a ring of their own.
 func NewRecorder(size int) *Recorder {
 	n := 16
 	for n < size {
 		n <<= 1
 	}
-	return &Recorder{mask: uint64(n - 1), slots: make([]slot, n)}
+	return &Recorder{
+		mask: uint64(n - 1), slots: make([]slot, n),
+		lcMask: lifecycleSlots - 1, lcSlots: make([]slot, lifecycleSlots),
+	}
 }
 
 // Cap returns the ring capacity (0 for nil).
@@ -175,6 +194,11 @@ func (r *Recorder) Record(e Event) {
 	}
 	ticket := r.cursor.Add(1)
 	s := &r.slots[(ticket-1)&r.mask]
+	if e.Kind == KindSwap {
+		// Seq stays a shared-cursor ticket (one total order across both
+		// rings); only the slot comes from the lifecycle ring.
+		s = &r.lcSlots[(r.lcCursor.Add(1)-1)&r.lcMask]
+	}
 	s.ver.Add(1) // odd: write in progress
 	s.time.Store(e.Time)
 	s.wave.Store(e.Wave)
@@ -191,7 +215,38 @@ func (r *Recorder) Record(e Event) {
 	s.ver.Add(1) // even: published
 }
 
-// Snapshot returns the recorded events oldest-first. Slots mid-write or
+// read performs one seqlock-checked read of a slot. ok reports a stable
+// (untorn) read; callers validate the seq themselves.
+func (s *slot) read() (e Event, ok bool) {
+	for attempt := 0; attempt < 3; attempt++ {
+		v1 := s.ver.Load()
+		if v1&1 != 0 {
+			continue // writer mid-flight; retry
+		}
+		e = Event{
+			Seq:          s.seq.Load(),
+			Time:         s.time.Load(),
+			Wave:         s.wave.Load(),
+			QueueNanos:   s.queueNs.Load(),
+			ComputeNanos: s.compNs.Load(),
+			Epoch:        s.epoch.Load(),
+		}
+		sb := s.srcBatch.Load()
+		e.Source = int32(sb >> 32)
+		e.Batch = int32(uint32(sb))
+		meta := s.meta.Load()
+		e.Kind = Kind(meta >> 16)
+		e.Outcome = Outcome(meta >> 8 & 0xff)
+		e.Degraded = meta&1 != 0
+		if s.ver.Load() == v1 {
+			return e, true
+		}
+	}
+	return Event{}, false
+}
+
+// Snapshot returns the recorded events oldest-first — the union of the
+// traffic ring and the lifecycle ring in one seq order. Slots mid-write or
 // lapped during the read are skipped.
 func (r *Recorder) Snapshot() []Event {
 	if r == nil {
@@ -205,33 +260,33 @@ func (r *Recorder) Snapshot() []Event {
 	}
 	out := make([]Event, 0, newest-oldest+1)
 	for t := oldest; t <= newest; t++ {
-		s := &r.slots[(t-1)&r.mask]
-		for attempt := 0; attempt < 3; attempt++ {
-			v1 := s.ver.Load()
-			if v1&1 != 0 {
-				continue // writer mid-flight; retry
-			}
-			e := Event{
-				Seq:          s.seq.Load(),
-				Time:         s.time.Load(),
-				Wave:         s.wave.Load(),
-				QueueNanos:   s.queueNs.Load(),
-				ComputeNanos: s.compNs.Load(),
-				Epoch:        s.epoch.Load(),
-			}
-			sb := s.srcBatch.Load()
-			e.Source = int32(sb >> 32)
-			e.Batch = int32(uint32(sb))
-			meta := s.meta.Load()
-			e.Kind = Kind(meta >> 16)
-			e.Outcome = Outcome(meta >> 8 & 0xff)
-			e.Degraded = meta&1 != 0
-			if s.ver.Load() != v1 || e.Seq != t {
-				continue // torn or lapped; retry
-			}
+		// A ticket claimed by a lifecycle event leaves its traffic slot
+		// untouched; the stale seq there fails the check below and the
+		// event is picked up from the lifecycle ring instead.
+		if e, ok := r.slots[(t-1)&r.mask].read(); ok && e.Seq == t {
 			out = append(out, e)
-			break
 		}
+	}
+	// Lifecycle events keep their shared-cursor Seq, so they splice into
+	// the traffic timeline by insertion sort (both rings are tiny and the
+	// lifecycle one is nearly always almost-empty).
+	lcNewest := r.lcCursor.Load()
+	lcOldest := uint64(1)
+	if lcNewest > uint64(len(r.lcSlots)) {
+		lcOldest = lcNewest - uint64(len(r.lcSlots)) + 1
+	}
+	for p := lcOldest; p <= lcNewest; p++ {
+		e, ok := r.lcSlots[(p-1)&r.lcMask].read()
+		if !ok || e.Seq == 0 {
+			continue
+		}
+		i := len(out)
+		for i > 0 && out[i-1].Seq > e.Seq {
+			i--
+		}
+		out = append(out, Event{})
+		copy(out[i+1:], out[i:])
+		out[i] = e
 	}
 	return out
 }

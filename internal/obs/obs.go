@@ -89,14 +89,22 @@ func (s *Sink) Do(f func(), labels ...string) {
 // series append ".level.NNN" via LevelKey; per-kind query series append the
 // schedule phase kind.
 const (
-	MPrepWork      = "prep.work"      // E+ construction work units
-	MPrepRounds    = "prep.rounds"    // E+ construction PRAM rounds
-	MPrepShortcuts = "prep.shortcuts" // E+ pair contributions (pre-dedup)
+	MPrepWork       = "prep.work"       // E+ construction work units
+	MPrepRounds     = "prep.rounds"     // E+ construction PRAM rounds
+	MPrepShortcuts  = "prep.shortcuts"  // E+ pair contributions (pre-dedup)
 	MQueryWork      = "query.work"      // relaxations, per phase kind
 	MQueryPhases    = "query.phases"    // executed relaxation phases
 	MQueryCancelled = "query.cancelled" // queries abandoned on context cancellation
-	MExecImbalance  = "exec.imbalance"  // max/mean worker busy iterations
-	MExecWorkers    = "exec.workers"    // executor pool size
+
+	// Convergence pruning (the ℓ-block fixpoint early exit): phases proven
+	// no-ops and skipped, and the relaxations those phases would have
+	// scanned. Executed + avoided reconciles with the static schedule cost.
+	// Deliberately outside the "query.work."/"query.phases" namespaces so
+	// per-kind prefix sums keep counting executed relaxations only.
+	MQueryPhasesSkipped = "query.skipped.phases"
+	MQueryWorkAvoided   = "query.skipped.work"
+	MExecImbalance      = "exec.imbalance" // max/mean worker busy iterations
+	MExecWorkers        = "exec.workers"   // executor pool size
 
 	// Server (concurrent query serving) series.
 	MServerQueueDepth = "server.queue.depth" // gauge: requests waiting for a wave

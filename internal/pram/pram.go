@@ -38,6 +38,15 @@ import (
 type Stats struct {
 	work   atomic.Int64
 	rounds atomic.Int64
+
+	// Skipped cost: work and rounds the schedule's convergence pruning
+	// proved redundant and did not execute. Executed + skipped always
+	// equals the static schedule cost (Work+SkippedWork == WorkPerSource,
+	// Rounds+SkippedRounds == Phases for one query), so the pruning stays
+	// auditable and the determinism contract extends to the split: both
+	// halves are independent of scheduling and GOMAXPROCS.
+	skippedWork   atomic.Int64
+	skippedRounds atomic.Int64
 }
 
 // AddWork adds n units of work.
@@ -52,6 +61,30 @@ func (s *Stats) AddRounds(n int64) {
 	if s != nil {
 		s.rounds.Add(n)
 	}
+}
+
+// AddSkipped adds work units and rounds that convergence pruning avoided.
+func (s *Stats) AddSkipped(work, rounds int64) {
+	if s != nil {
+		s.skippedWork.Add(work)
+		s.skippedRounds.Add(rounds)
+	}
+}
+
+// SkippedWork returns the counted work avoided by pruning.
+func (s *Stats) SkippedWork() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.skippedWork.Load()
+}
+
+// SkippedRounds returns the counted rounds avoided by pruning.
+func (s *Stats) SkippedRounds() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.skippedRounds.Load()
 }
 
 // Work returns the total counted work.
@@ -75,6 +108,8 @@ func (s *Stats) Reset() {
 	if s != nil {
 		s.work.Store(0)
 		s.rounds.Store(0)
+		s.skippedWork.Store(0)
+		s.skippedRounds.Store(0)
 	}
 }
 

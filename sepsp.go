@@ -782,9 +782,18 @@ func (ix *Index) SourcesBatched(srcs []int) [][]float64 {
 // cooperative cancellation (ctx polled between the shared phase sweeps);
 // results equal SourcesContext.
 func (ix *Index) SourcesBatchedContext(ctx context.Context, srcs []int) ([][]float64, error) {
+	return ix.sourcesBatchedStats(ctx, srcs, nil)
+}
+
+// sourcesBatchedStats is SourcesBatchedContext with an optional PRAM cost
+// collector: st (nil to skip) receives the wave's executed and
+// convergence-pruned work so serving telemetry can surface the pruning
+// rate. Queries degraded to the baseline fallback record nothing — the
+// fallback has no schedule to prune.
+func (ix *Index) sourcesBatchedStats(ctx context.Context, srcs []int, st *pram.Stats) ([][]float64, error) {
 	if ix.primary() {
 		rows, err := runGuarded("sources", func() ([][]float64, error) {
-			return ix.eng.SourcesBatchedContext(ctx, srcs, nil)
+			return ix.eng.SourcesBatchedContext(ctx, srcs, st)
 		})
 		if err == nil || !ix.fallbackFor(err) {
 			return rows, err

@@ -144,6 +144,122 @@ func TestFuzzDelaunayWithRotations(t *testing.T) {
 	}
 }
 
+// TestFuzzOptimizedQueryBitIdentical cross-checks the optimized query
+// executors (SoA sequential with convergence pruning, lane-parallel
+// batched waves) against the retained naive reference relaxer: on the
+// same schedule the distances must be bit-identical, not merely close —
+// the arena rematerializes the exact relaxation order the reference
+// walks. Inputs include negative weights (potential-shifted grids) and
+// negative-cycle-adjacent 2-cycles whose total weight is barely positive,
+// the regime where any reordering of float relaxations would show up as a
+// bit difference. An independent Bellman-Ford run (with tolerance) keeps
+// the pair of executors honest against agreeing on a wrong answer.
+func TestFuzzOptimizedQueryBitIdentical(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		dims := []int{3 + rng.Intn(7), 3 + rng.Intn(7)}
+		grid := gen.NewGrid(dims, gen.UniformWeights(0.1, 4), rng)
+		shifted, pot := gen.PotentialShift(grid.G, 6, rng)
+
+		// Collect the shifted edges, then thread in near-cancelling
+		// 2-cycles along existing grid edges: each direction gets reduced
+		// weight ε>0 under the same potential, so one side is usually
+		// negative but no cycle ever is, and the skeleton (hence the
+		// coordinate separator tree) is unchanged.
+		type edge struct {
+			from, to int
+			w        float64
+		}
+		var edges []edge
+		shifted.Edges(func(from, to int, w float64) bool {
+			edges = append(edges, edge{from, to, w})
+			return true
+		})
+		g := toPublic(shifted)
+		b := graph.NewBuilder(shifted.N())
+		for _, e := range edges {
+			b.AddEdge(e.from, e.to, e.w)
+		}
+		for c := 1 + rng.Intn(4); c > 0; c-- {
+			e := edges[rng.Intn(len(edges))]
+			for _, dir := range [][2]int{{e.from, e.to}, {e.to, e.from}} {
+				eps := 1e-6 * (1 + rng.Float64())
+				w := eps + pot[dir[0]] - pot[dir[1]]
+				g.AddEdge(dir[0], dir[1], w)
+				b.AddEdge(dir[0], dir[1], w)
+			}
+		}
+		ref := b.Build()
+
+		opt := &Options{Coordinates: grid.Coord, LeafSize: 2 + rng.Intn(6)}
+		if rng.Intn(2) == 0 {
+			opt.Workers = 2 + rng.Intn(3)
+		}
+		ix, err := Build(g, opt)
+		if err != nil {
+			t.Errorf("seed=%d: Build: %v", seed, err)
+			return false
+		}
+		eng := ix.eng
+
+		// Solo queries: optimized vs reference bit-identical, reference vs
+		// Bellman-Ford within tolerance.
+		for trial := 0; trial < 2; trial++ {
+			src := rng.Intn(ref.N())
+			want := eng.SSSPReference(src, nil)
+			got := eng.SSSP(src, nil)
+			for v := range want {
+				if got[v] != want[v] {
+					t.Errorf("seed=%d src=%d v=%d: optimized %v != reference %v (bitwise)", seed, src, v, got[v], want[v])
+					return false
+				}
+			}
+			bf, err := baseline.BellmanFord(ref, src, nil)
+			if err != nil {
+				t.Errorf("seed=%d: BF: %v", seed, err)
+				return false
+			}
+			for v := range bf {
+				if math.IsInf(bf[v], 1) != math.IsInf(want[v], 1) ||
+					(!math.IsInf(bf[v], 1) && math.Abs(want[v]-bf[v]) > 1e-8*(1+math.Abs(bf[v]))) {
+					t.Errorf("seed=%d src=%d v=%d: reference %v, Bellman-Ford %v", seed, src, v, want[v], bf[v])
+					return false
+				}
+			}
+		}
+
+		// Batched wave: every lane bit-identical to the reference; lane
+		// counts straddle the parallel-dispatch threshold.
+		k := 3 + rng.Intn(6)
+		if rng.Intn(3) == 0 {
+			k = batchedFuzzLanes + rng.Intn(4)
+		}
+		srcs := make([]int, k)
+		for j := range srcs {
+			srcs[j] = rng.Intn(ref.N())
+		}
+		rows := eng.SourcesBatched(srcs, nil)
+		for j, src := range srcs {
+			want := eng.SSSPReference(src, nil)
+			for v := range want {
+				if rows[j][v] != want[v] {
+					t.Errorf("seed=%d wave k=%d src=%d v=%d: batched %v != reference %v (bitwise)", seed, k, src, v, rows[j][v], want[v])
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 18}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// batchedFuzzLanes mirrors core's parallel-dispatch lane threshold so the
+// fuzz wave sizes exercise both sides of it (the constant is unexported
+// there; a drift would only soften coverage, never correctness).
+const batchedFuzzLanes = 16
+
 func TestFuzzOracleAgainstEngine(t *testing.T) {
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))

@@ -14,6 +14,7 @@ import (
 	"sepsp/internal/faultinject"
 	"sepsp/internal/obs"
 	"sepsp/internal/obs/live"
+	"sepsp/internal/pram"
 )
 
 // ServerOptions configures a Server. The zero value (or nil) uses the
@@ -715,10 +716,14 @@ func (s *Server) serveWave(batch []ssspReq) {
 	ctx, detach := waveContext(alive)
 	defer detach() // idempotent; guards the early-panic path against watcher leaks
 	var t0 time.Time
+	var wst *pram.Stats
 	if instr {
 		t0 = time.Now()
+		if s.tel != nil {
+			wst = &pram.Stats{} // collect the wave's pruning telemetry
+		}
 	}
-	rows, err := s.runWave(ctx, ix, srcs)
+	rows, err := s.runWave(ctx, ix, srcs, wst)
 	var computeNanos int64
 	if instr {
 		computeNanos = time.Since(t0).Nanoseconds()
@@ -767,7 +772,8 @@ func (s *Server) serveWave(batch []ssspReq) {
 		for _, r := range alive {
 			s.tel.recordQuery(live.OutcomeOK, r.src, waveID, waveStart.UnixNano()-r.enq, computeNanos, len(alive), epoch, degraded)
 		}
-		s.tel.recordWave(waveID, len(alive), computeNanos, epoch, degraded)
+		s.tel.recordWave(waveID, len(alive), computeNanos, epoch, degraded,
+			wst.SkippedRounds(), wst.SkippedWork())
 	}
 	if s.logger != nil {
 		s.logger.Debug("wave served", "wave", waveID, "size", len(alive), "epoch", epoch, "compute", time.Duration(computeNanos))
@@ -794,7 +800,7 @@ func (s *Server) serveWave(batch []ssspReq) {
 // panic comes back as a *PanicError instead of killing the dispatcher (the
 // Index's own FallbackPolicy, if any, has already had its chance to absorb
 // it).
-func (s *Server) runWave(ctx context.Context, ix *Index, srcs []int) (rows [][]float64, err error) {
+func (s *Server) runWave(ctx context.Context, ix *Index, srcs []int, st *pram.Stats) (rows [][]float64, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			rows, err = nil, newPanicError("serve", r)
@@ -803,7 +809,7 @@ func (s *Server) runWave(ctx context.Context, ix *Index, srcs []int) (rows [][]f
 	if s.inj != nil {
 		s.inj.Fire(faultinject.SiteServerWave)
 	}
-	return ix.SourcesBatchedContext(ctx, srcs)
+	return ix.sourcesBatchedStats(ctx, srcs, st)
 }
 
 // waveContext returns a context that is cancelled once EVERY member's

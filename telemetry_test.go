@@ -46,6 +46,14 @@ func TestTelemetryCountsQueries(t *testing.T) {
 	if got := tel.QueriesTotal(); got != reqs {
 		t.Fatalf("QueriesTotal = %d, want %d", got, reqs)
 	}
+	// Every wave runs the convergence-pruned schedule, so the pruning
+	// families must be live after real traffic.
+	if got := tel.reg.CounterValue("sepsp_query_relaxations_avoided_total"); got <= 0 {
+		t.Fatalf("relaxations_avoided_total = %d, want > 0 after %d queries", got, reqs)
+	}
+	if got := tel.reg.CounterValue("sepsp_query_phases_skipped_total"); got <= 0 {
+		t.Fatalf("phases_skipped_total = %d, want > 0 after %d queries", got, reqs)
+	}
 	var b bytes.Buffer
 	if err := tel.WriteMetrics(&b); err != nil {
 		t.Fatal(err)
@@ -64,6 +72,8 @@ func TestTelemetryCountsQueries(t *testing.T) {
 		`sepsp_server_degraded{server="0"} 0`,
 		`sepsp_worker_busy_iterations{index="0",worker="0"}`,
 		"sepsp_exec_load_imbalance",
+		"sepsp_query_phases_skipped_total",
+		"sepsp_query_relaxations_avoided_total",
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("exposition missing %q", want)
