@@ -65,6 +65,7 @@ func BenchmarkPairsOracle(b *testing.B)           { benchExperiment(b, "E-pairs"
 func BenchmarkFinderAblation(b *testing.B)        { benchExperiment(b, "E-finders") }
 func BenchmarkServeWaves(b *testing.B)            { benchExperiment(b, "E-serve") }
 func BenchmarkBuildThroughput(b *testing.B)       { benchExperiment(b, "E-build") }
+func BenchmarkResultCache(b *testing.B)           { benchExperiment(b, "E-cache") }
 
 // Micro-benchmarks of the kernels (wall clock, allocations).
 

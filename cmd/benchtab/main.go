@@ -117,7 +117,13 @@ func run(argv []string, stdout, stderr io.Writer) int {
 				}
 				ok = false
 			default:
-				fmt.Fprintf(stdout, "gate %s: ok\n", id)
+				// With -json the stdout stream is NDJSON for machines; the
+				// human-facing gate verdict must not pollute it.
+				if *jsonOut {
+					fmt.Fprintf(stderr, "gate %s: ok\n", id)
+				} else {
+					fmt.Fprintf(stdout, "gate %s: ok\n", id)
+				}
 			}
 		}
 		if *jsonOut {

@@ -18,7 +18,7 @@
 //	serve [-clients C] [-requests R] [-maxbatch B] [-inflight F] [-seed S]
 //	      [-timeout D] [-chaos P] [-chaosseed S] [-listen ADDR] [-linger D]
 //	      [-log-level L] [-reweight FILE] [-reweight-every D]
-//	      [-priority-mix I:B:G] [-overload]
+//	      [-priority-mix I:B:G] [-overload] [-cache-mb MB] [-hot-sources K]
 //	                         drive a synthetic concurrent load through the
 //	                         batching Server and print throughput and wave
 //	                         coalescing statistics (load test). -chaos P
@@ -51,7 +51,14 @@
 //	                         circuit breaker must open under injected
 //	                         failures and recover through a half-open probe;
 //	                         the drill exits non-zero if any phase misses
-//	                         its invariant.
+//	                         its invariant. -cache-mb MB enables the
+//	                         epoch-aware result cache with an MB-MiB budget
+//	                         (cached sources answer without entering
+//	                         admission; the summary gains a cache: line with
+//	                         hit/miss/shared counts and the hit rate), and
+//	                         -hot-sources K draws the load from K hot
+//	                         vertices instead of the whole graph so repeats
+//	                         dominate (the cache drill).
 //
 // Observability flags:
 //
@@ -124,6 +131,8 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		reweightDur = fs.Duration("reweight-every", 0, "serve: with -reweight, also reload on this period (reweight drill; 0 = SIGHUP only)")
 		overload    = fs.Bool("overload", false, "serve: run the adaptive overload-control drill (limiter convergence, priority shedding and brownout, rebuild circuit breaker)")
 		prioMix     = fs.String("priority-mix", "", "serve: interactive:batch:background arrival weights, e.g. 50:40:10 (default all-interactive; -overload defaults to 50:40:10)")
+		cacheMB     = fs.Int("cache-mb", 0, "serve: epoch-aware result cache budget in MiB (0 = cache off)")
+		hotSources  = fs.Int("hot-sources", 0, "serve: draw sources from this many hot vertices instead of the whole graph (cache drill; 0 = uniform)")
 	)
 	if err := fs.Parse(argv); err != nil {
 		return 2
@@ -184,9 +193,17 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		reweightEvery: *reweightDur,
 		overload:      *overload,
 		priorityMix:   *prioMix,
+		cacheMB:       *cacheMB,
+		hotSources:    *hotSources,
 	}
 	if cfg.reweightEvery > 0 && cfg.reweight == "" {
 		return fail(fmt.Errorf("-reweight-every needs -reweight FILE"))
+	}
+	if cfg.cacheMB < 0 {
+		return fail(fmt.Errorf("-cache-mb %d: budget must be >= 0", cfg.cacheMB))
+	}
+	if cfg.hotSources < 0 {
+		return fail(fmt.Errorf("-hot-sources %d: count must be >= 0", cfg.hotSources))
 	}
 	if cfg.overload && (cfg.chaos > 0 || cfg.reweight != "") {
 		return fail(fmt.Errorf("-overload is its own drill; it composes with neither -chaos nor -reweight"))

@@ -41,6 +41,9 @@ type serveConfig struct {
 
 	overload    bool   // run the adaptive overload-control drill instead of the plain load
 	priorityMix string // I:B:G arrival weights ("" = all interactive)
+
+	cacheMB    int // epoch-aware result cache budget in MiB (0 = off)
+	hotSources int // draw sources from this many hot vertices (cache drill; 0 = uniform)
 }
 
 // readGraph loads a graph file into the builder the public API consumes,
@@ -180,6 +183,7 @@ func runServe(ctx context.Context, w io.Writer, ix *sepsp.Index, n int, cfg serv
 		MaxBatch:     cfg.maxBatch,
 		MaxInFlight:  cfg.inFlight,
 		QueueTimeout: cfg.timeout,
+		CacheBytes:   int64(cfg.cacheMB) << 20,
 		Observer:     ob,
 		Telemetry:    tel,
 		Logger:       logger,
@@ -229,6 +233,14 @@ func runServe(ctx context.Context, w io.Writer, ix *sepsp.Index, n int, cfg serv
 		return fail(err)
 	}
 
+	// The source universe: uniform over the graph by default, or — the cache
+	// drill — uniform over a small hot set so repeats (and thus cache hits)
+	// dominate.
+	srcSpan := n
+	if cfg.hotSources > 0 && cfg.hotSources < n {
+		srcSpan = cfg.hotSources
+	}
+
 	var served, faulted atomic.Int64
 	var firstErr atomic.Value
 	start := time.Now()
@@ -248,7 +260,7 @@ func runServe(ctx context.Context, w io.Writer, ix *sepsp.Index, n int, cfg serv
 				Telemetry: tel,
 			}
 			for i := 0; i < quota && ctx.Err() == nil; i++ {
-				src := rng.Intn(n)
+				src := rng.Intn(srcSpan)
 				qctx := sepsp.WithPriority(ctx, mix.draw(rng))
 				dist, err := sepsp.RetryValue(qctx, retry, func() ([]float64, error) {
 					return srv.SSSP(qctx, src)
@@ -323,6 +335,16 @@ func runServe(ctx context.Context, w io.Writer, ix *sepsp.Index, n int, cfg serv
 		mgr := srv.Manager()
 		fmt.Fprintf(w, "reweight: swaps=%d failures=%d epoch=%d\n",
 			mgr.Swaps(), mgr.RebuildFailures(), mgr.Epoch())
+	}
+	if cfg.cacheMB > 0 {
+		decided := health.CacheHits + health.CacheShared + health.CacheMisses
+		hitRate := 0.0
+		if decided > 0 {
+			hitRate = 100 * float64(health.CacheHits+health.CacheShared) / float64(decided)
+		}
+		fmt.Fprintf(w, "cache: hits=%d misses=%d shared=%d evictions=%d bytes=%d hitRate=%.1f%%\n",
+			health.CacheHits, health.CacheMisses, health.CacheShared,
+			health.CacheEvictions, health.CacheBytes, hitRate)
 	}
 	if cfg.chaos > 0 {
 		wp, wd, _ := inj.Fired(faultinject.SitePramWorker)

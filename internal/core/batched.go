@@ -159,6 +159,68 @@ func (s *batchedState) transpose(lo, hi int) {
 	}
 }
 
+// dedupDenseThreshold is the lane count up to which duplicate detection
+// uses the quadratic pairwise scan (zero allocations, trivially fast at
+// wave sizes); above it a map takes over.
+const dedupDenseThreshold = 128
+
+// dedupSources detects duplicate sources in one wave. It returns
+// (nil, nil) — allocating nothing — when all sources are distinct, and
+// otherwise the unique sources in first-occurrence order plus the
+// original-lane → unique-lane mapping.
+func dedupSources(srcs []int) (uniq []int, lane []int) {
+	k := len(srcs)
+	dup := false
+	if k <= dedupDenseThreshold {
+		for i := 1; i < k && !dup; i++ {
+			for j := 0; j < i; j++ {
+				if srcs[j] == srcs[i] {
+					dup = true
+					break
+				}
+			}
+		}
+		if !dup {
+			return nil, nil
+		}
+		uniq = make([]int, 0, k)
+		lane = make([]int, k)
+		for i, s := range srcs {
+			at := -1
+			for u, us := range uniq {
+				if us == s {
+					at = u
+					break
+				}
+			}
+			if at < 0 {
+				at = len(uniq)
+				uniq = append(uniq, s)
+			}
+			lane[i] = at
+		}
+		return uniq, lane
+	}
+	idx := make(map[int]int, k)
+	lane = make([]int, k)
+	uniq = make([]int, 0, k)
+	for i, s := range srcs {
+		u, ok := idx[s]
+		if !ok {
+			u = len(uniq)
+			uniq = append(uniq, s)
+			idx[s] = u
+		} else {
+			dup = true
+		}
+		lane[i] = u
+	}
+	if !dup {
+		return nil, nil
+	}
+	return uniq, lane
+}
+
 // SourcesBatched computes SSSP from k sources by relaxing all k distance
 // vectors during one shared sweep over each phase's edge bucket — the
 // cache-friendly formulation for moderate k (each edge is loaded once per
@@ -190,6 +252,33 @@ func (e *Engine) SourcesBatchedContext(ctx context.Context, srcs []int, st *pram
 	k := len(srcs)
 	if k == 0 {
 		return nil, nil
+	}
+	// Wave-level duplicate-source dedup: identical sources in one wave
+	// collapse to a single computed lane, and the vector is fanned back out
+	// on output (later occurrences get independent copies, so every
+	// returned row stays caller-owned). The duplicate lanes' entire static
+	// schedule cost is accounted as avoided work, preserving the audit
+	// identity executed + avoided = k × WorkPerSource. The detection scan
+	// allocates nothing when all sources are distinct — the common case.
+	if uniq, lane := dedupSources(srcs); uniq != nil {
+		rows, err := e.SourcesBatchedContext(ctx, uniq, st)
+		if err != nil {
+			return nil, err
+		}
+		st.AddSkipped(int64(k-len(uniq))*e.schedule.WorkPerSource(), 0)
+		out := make([][]float64, k)
+		seen := make([]bool, len(uniq))
+		for j, u := range lane {
+			if !seen[u] {
+				out[j] = rows[u] // first occurrence owns the computed row
+				seen[u] = true
+				continue
+			}
+			row := make([]float64, len(rows[u]))
+			copy(row, rows[u])
+			out[j] = row
+		}
+		return out, nil
 	}
 	n := e.g.N()
 	ws := e.getWS()

@@ -14,11 +14,11 @@ func TestSourcesBatchedMatchesSources(t *testing.T) {
 		rng := rand.New(rand.NewSource(seed))
 		dims := []int{3 + rng.Intn(8), 3 + rng.Intn(8)}
 		eng, g := buildGridEngine(t, dims, gen.UniformWeights(0.1, 4), seed, Config{})
+		// Distinct sources keep the exact executed-work equality below
+		// meaningful: with duplicates the batched path provably executes
+		// less (see TestSourcesBatchedDedupExact).
 		k := 1 + rng.Intn(6)
-		srcs := make([]int, k)
-		for i := range srcs {
-			srcs[i] = rng.Intn(g.N())
-		}
+		srcs := rng.Perm(g.N())[:k]
 		st1, st2 := &pram.Stats{}, &pram.Stats{}
 		a := eng.Sources(srcs, st1)
 		b := eng.SourcesBatched(srcs, st2)
@@ -55,5 +55,90 @@ func TestSourcesBatchedDuplicateSources(t *testing.T) {
 		if rows[0][v] != rows[1][v] {
 			t.Fatal("duplicate sources must produce identical rows")
 		}
+	}
+	// The fanned-out rows must be independent copies, not aliases: a
+	// caller mutating one row must not see the change through another.
+	rows[0][0] = -1
+	if rows[1][0] == -1 {
+		t.Fatal("duplicate rows alias the same backing array")
+	}
+}
+
+// TestSourcesBatchedDedupExact is the dedup satellite's exactness gate: a
+// wave with duplicate sources must return rows bit-identical to the
+// undeduped per-lane answers, and its work accounting must reconcile to
+// the same total schedule cost — executed + avoided = k × WorkPerSource —
+// with the duplicate lanes' entire cost on the avoided side.
+func TestSourcesBatchedDedupExact(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		dims := []int{3 + rng.Intn(8), 3 + rng.Intn(8)}
+		eng, g := buildGridEngine(t, dims, gen.UniformWeights(0.1, 4), seed, Config{})
+		// At least one guaranteed duplicate; the rest random (more may
+		// collide).
+		k := 3 + rng.Intn(6)
+		srcs := make([]int, k)
+		for i := range srcs {
+			srcs[i] = rng.Intn(g.N())
+		}
+		srcs[k-1] = srcs[0]
+		stDup, stSolo := &pram.Stats{}, &pram.Stats{}
+		rows := eng.SourcesBatched(srcs, stDup)
+		solo := eng.Sources(srcs, stSolo)
+		for i := range srcs {
+			for v := range solo[i] {
+				if rows[i][v] != solo[i][v] && !almostEqual(rows[i][v], solo[i][v]) {
+					t.Errorf("seed=%d lane=%d v=%d: %v vs %v", seed, i, v, rows[i][v], solo[i][v])
+					return false
+				}
+			}
+		}
+		total := int64(k) * eng.schedule.WorkPerSource()
+		if got := stDup.Work() + stDup.SkippedWork(); got != total {
+			t.Errorf("seed=%d: executed+avoided = %d, want k x WorkPerSource = %d", seed, got, total)
+			return false
+		}
+		if stDup.Work() >= stSolo.Work() {
+			t.Errorf("seed=%d: dedup executed %d work, undeduped %d — nothing collapsed", seed, stDup.Work(), stSolo.Work())
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDedupSources(t *testing.T) {
+	if u, l := dedupSources([]int{1, 2, 3}); u != nil || l != nil {
+		t.Fatalf("distinct sources allocated a dedup plan: %v %v", u, l)
+	}
+	u, l := dedupSources([]int{5, 2, 5, 2, 9})
+	wantU, wantL := []int{5, 2, 9}, []int{0, 1, 0, 1, 2}
+	if len(u) != len(wantU) || len(l) != len(wantL) {
+		t.Fatalf("dedup = %v %v, want %v %v", u, l, wantU, wantL)
+	}
+	for i := range wantU {
+		if u[i] != wantU[i] {
+			t.Fatalf("uniq = %v, want %v", u, wantU)
+		}
+	}
+	for i := range wantL {
+		if l[i] != wantL[i] {
+			t.Fatalf("lane = %v, want %v", l, wantL)
+		}
+	}
+	// Above the dense threshold the map path must agree.
+	big := make([]int, dedupDenseThreshold+2)
+	for i := range big {
+		big[i] = i
+	}
+	big[len(big)-1] = big[0]
+	u, l = dedupSources(big)
+	if len(u) != len(big)-1 || l[len(big)-1] != 0 {
+		t.Fatalf("map-path dedup: %d uniques, lane[last]=%d", len(u), l[len(big)-1])
+	}
+	if u, l = dedupSources(big[:len(big)-1]); u != nil || l != nil {
+		t.Fatal("map-path distinct sources reported duplicates")
 	}
 }

@@ -1,0 +1,96 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+// fakeCacheResult builds a minimal E-cache result shaped like
+// CacheExperiment's output, for gate tests.
+func fakeCacheResult(work, allocs, speedup, identical, computed, answered string) *Result {
+	return &Result{Tables: []*Table{
+		{
+			ID:     "E-cache-hit",
+			Header: []string{"n", "path", "time/op", "work", "allocs", "speedup", "identical"},
+			Rows: [][]string{
+				{"4096", "recompute", "500µs", work, "1", "-", "-"},
+				{"4096", "cache hit", "3µs", "0", allocs, speedup, identical},
+			},
+		},
+		{
+			ID:     "E-cache-singleflight",
+			Header: []string{"n", "callers", "computed", "answered without compute"},
+			Rows: [][]string{
+				{"4096", "16", computed, answered},
+			},
+		},
+	}}
+}
+
+func TestGateCachePasses(t *testing.T) {
+	base := fakeCacheResult("463554", "1", "150.00", "yes", "1", "15")
+	curr := fakeCacheResult("463554", "2", "12.00", "yes", "1", "15") // slower machine, alloc at budget
+	if viol := GateCache(curr, base); len(viol) != 0 {
+		t.Fatalf("clean run flagged: %v", viol)
+	}
+}
+
+func TestGateCacheCatchesWorkDrift(t *testing.T) {
+	base := fakeCacheResult("463554", "1", "150.00", "yes", "1", "15")
+	curr := fakeCacheResult("463555", "1", "150.00", "yes", "1", "15")
+	viol := GateCache(curr, base)
+	if len(viol) == 0 || !strings.Contains(strings.Join(viol, ";"), "work") {
+		t.Fatalf("work drift not flagged: %v", viol)
+	}
+}
+
+func TestGateCacheCatchesSpeedupFloor(t *testing.T) {
+	base := fakeCacheResult("463554", "1", "150.00", "yes", "1", "15")
+	curr := fakeCacheResult("463554", "1", "4.00", "yes", "1", "15")
+	viol := GateCache(curr, base)
+	if len(viol) == 0 || !strings.Contains(strings.Join(viol, ";"), "speedup") {
+		t.Fatalf("speedup floor not enforced: %v", viol)
+	}
+}
+
+func TestGateCacheCatchesAllocBudget(t *testing.T) {
+	base := fakeCacheResult("463554", "1", "150.00", "yes", "1", "15")
+	curr := fakeCacheResult("463554", "3", "150.00", "yes", "1", "15")
+	viol := GateCache(curr, base)
+	if len(viol) == 0 || !strings.Contains(strings.Join(viol, ";"), "allocs") {
+		t.Fatalf("alloc budget not enforced: %v", viol)
+	}
+}
+
+func TestGateCacheCatchesNonIdentical(t *testing.T) {
+	base := fakeCacheResult("463554", "1", "150.00", "yes", "1", "15")
+	curr := fakeCacheResult("463554", "1", "150.00", "no", "1", "15")
+	viol := GateCache(curr, base)
+	if len(viol) == 0 || !strings.Contains(strings.Join(viol, ";"), "bit-identical") {
+		t.Fatalf("non-identical vector not flagged: %v", viol)
+	}
+}
+
+func TestGateCacheCatchesExtraComputes(t *testing.T) {
+	base := fakeCacheResult("463554", "1", "150.00", "yes", "1", "15")
+	curr := fakeCacheResult("463554", "1", "150.00", "yes", "2", "14")
+	viol := GateCache(curr, base)
+	if len(viol) == 0 || !strings.Contains(strings.Join(viol, ";"), "computed") {
+		t.Fatalf("duplicate compute not flagged: %v", viol)
+	}
+}
+
+// TestCacheExperimentSmall runs the experiment end to end at scale 1 via
+// the registry and checks its own recorded invariants hold on this machine.
+func TestCacheExperimentSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs two engine builds")
+	}
+	res, err := Run("E-cache", nil, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if viol := GateCache(res, res); len(viol) != 0 {
+		t.Fatalf("self-gate violations: %v", viol)
+	}
+}

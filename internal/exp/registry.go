@@ -112,6 +112,9 @@ var registry = map[string]Runner{
 	"E-query": func(_ *pram.Executor, scale int, _ *obs.Sink) (*Result, error) {
 		return QueryExperiment(scale)
 	},
+	"E-cache": func(_ *pram.Executor, scale int, _ *obs.Sink) (*Result, error) {
+		return CacheExperiment(scale)
+	},
 }
 
 // gates maps experiment ids to regression gates: a gate compares the
@@ -120,6 +123,7 @@ var registry = map[string]Runner{
 var gates = map[string]func(curr, base *Result) []string{
 	"E-build": GateBuild,
 	"E-query": GateQuery,
+	"E-cache": GateCache,
 }
 
 // Gate compares a fresh result for id against a recorded baseline. The

@@ -20,6 +20,12 @@ const (
 	// KindSwap is an index-lifecycle event: a completed epoch hot-swap
 	// (OutcomeOK) or a failed reweighting rebuild (OutcomeError).
 	KindSwap
+	// KindCacheHit is a query answered from the distance cache (including
+	// single-flight waiters sharing another request's computation).
+	KindCacheHit
+	// KindCacheMiss is a cache miss that became a single-flight leader and
+	// computed a fresh vector through the admission path.
+	KindCacheMiss
 )
 
 // String returns the kind's wire name.
@@ -33,6 +39,10 @@ func (k Kind) String() string {
 		return "failure"
 	case KindSwap:
 		return "swap"
+	case KindCacheHit:
+		return "cache-hit"
+	case KindCacheMiss:
+		return "cache-miss"
 	}
 	return "unknown"
 }

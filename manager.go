@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"sepsp/internal/admission"
+	"sepsp/internal/distcache"
 	"sepsp/internal/faultinject"
 )
 
@@ -138,7 +139,8 @@ func (e *epochIndex) acquire() bool {
 type Manager struct {
 	cur atomic.Pointer[epochIndex]
 
-	tel    atomic.Pointer[Telemetry] // settable post-construction (Server attach)
+	tel    atomic.Pointer[Telemetry]      // settable post-construction (Server attach)
+	cache  atomic.Pointer[distcache.Cache] // result cache whose generation tracks swaps
 	logger *slog.Logger
 	inj    faultinject.Injector
 
@@ -185,6 +187,15 @@ func NewManager(ix *Index, opt *ManagerOptions) *Manager {
 // attach); the first non-nil registry wins.
 func (m *Manager) setTelemetry(tel *Telemetry) {
 	m.tel.CompareAndSwap(nil, tel)
+}
+
+// setCache wires a server's distance cache in so completed swaps bump its
+// generation (stale vectors stop being admitted and die lazily under
+// eviction pressure — no stop-the-world flush). The first cache wins.
+func (m *Manager) setCache(c *distcache.Cache) {
+	if c != nil {
+		m.cache.CompareAndSwap(nil, c)
+	}
 }
 
 // Index returns the currently serving index. Callers that need the index
@@ -331,6 +342,11 @@ func (m *Manager) Reweight(ctx context.Context, g *Graph) (uint64, error) {
 	}
 	next := old.id + 1
 	res.ix.epoch.Store(next)
+	// Bump the result cache's generation before the swap publishes the new
+	// epoch: vectors computed on older epochs stop being admitted and are
+	// evicted first, while requests already keyed at an old epoch simply
+	// stop matching (new requests read the post-swap epoch for their key).
+	m.cache.Load().BumpGeneration(next)
 	tel := m.tel.Load()
 	if tel != nil && res.ix.fb != nil {
 		// Re-wire the fresh fallback engine's live counters (the old

@@ -2,10 +2,12 @@ package sepsp
 
 import (
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
+	"syscall"
 
 	"sepsp/internal/augment"
 	"sepsp/internal/core"
@@ -65,8 +67,9 @@ func (ix *Index) Save(w io.Writer) error {
 // a temporary file in path's directory, fsynced, and atomically renamed
 // into place, so a crash mid-save can never leave a torn blob at path — a
 // reader sees either the complete old contents or the complete new ones.
-// The containing directory is fsynced too (best effort) so the rename
-// itself survives a crash.
+// The containing directory is fsynced after the rename so the rename
+// itself survives a crash; a directory-sync failure is reported (except on
+// filesystems that simply do not support syncing directories).
 func (ix *Index) SaveFile(path string) (err error) {
 	dir := filepath.Dir(path)
 	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
@@ -91,12 +94,29 @@ func (ix *Index) SaveFile(path string) (err error) {
 	if err = os.Rename(tmp.Name(), path); err != nil {
 		return fmt.Errorf("sepsp: save %s: %w", path, err)
 	}
-	// Durability of the rename needs the directory entry flushed as well.
-	// Best effort: some platforms/filesystems refuse to fsync a directory,
-	// and the data itself is already safe.
-	if d, derr := os.Open(dir); derr == nil {
-		_ = d.Sync()
-		d.Close()
+	// Durability of the rename needs the directory entry flushed as well:
+	// on ext4/xfs the rename lives in the directory's metadata, and a crash
+	// before that metadata commits can resurrect the old entry even though
+	// the file's own bytes are safe on disk.
+	if err = fsyncDir(dir); err != nil {
+		return fmt.Errorf("sepsp: save %s: sync dir: %w", path, err)
+	}
+	return nil
+}
+
+// fsyncDir flushes a directory's entries so a completed rename inside it
+// survives a crash. Filesystems that refuse to sync directories (EINVAL /
+// ENOTSUP on some network and FUSE mounts) are tolerated — the data file
+// itself was already fsynced. A package-level hook so tests can assert the
+// call path and inject failures.
+var fsyncDir = func(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil && !errors.Is(err, syscall.EINVAL) && !errors.Is(err, syscall.ENOTSUP) {
+		return err
 	}
 	return nil
 }

@@ -2,6 +2,7 @@ package sepsp
 
 import (
 	"bytes"
+	"errors"
 	"math"
 	"os"
 	"path/filepath"
@@ -160,6 +161,70 @@ func TestSaveFileFailureLeavesNoLitter(t *testing.T) {
 			names[i] = e.Name()
 		}
 		t.Fatalf("failed save left litter: %v", names)
+	}
+}
+
+// TestSaveFileFsyncsDir asserts the durability call path: after the atomic
+// rename, SaveFile must flush the PARENT directory (where the rename's
+// metadata lives), and a directory-sync failure must surface as a save
+// error — silently skipping it would undo the crash-safety the rename buys.
+func TestSaveFileFsyncsDir(t *testing.T) {
+	gg, grid := gridGraph(t, 5, 5, 42)
+	ix, err := Build(gg, &Options{Coordinates: grid.Coord})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "index.gob")
+
+	var synced []string
+	orig := fsyncDir
+	fsyncDir = func(d string) error {
+		synced = append(synced, d)
+		return orig(d)
+	}
+	defer func() { fsyncDir = orig }()
+
+	if err := ix.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if len(synced) != 1 || synced[0] != dir {
+		t.Fatalf("dir fsync calls = %v, want exactly [%s]", synced, dir)
+	}
+
+	// An injected directory-sync failure propagates, and the directory still
+	// holds only the (already renamed) final file — no temp litter.
+	fsyncDir = func(string) error { return errors.New("injected dir fsync failure") }
+	if err := ix.SaveFile(path); err == nil {
+		t.Fatal("SaveFile swallowed a directory fsync failure")
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name() != "index.gob" {
+		names := make([]string, len(entries))
+		for i, e := range entries {
+			names[i] = e.Name()
+		}
+		t.Fatalf("directory not clean after failed dir fsync: %v", names)
+	}
+	// The blob renamed into place before the failing sync must still load —
+	// the error reports reduced durability, not a torn file.
+	if _, err := LoadFile(path, 0); err != nil {
+		t.Fatalf("load after dir-fsync failure: %v", err)
+	}
+}
+
+// TestFsyncDirDefault exercises the real implementation: syncing an
+// existing directory succeeds (EINVAL/ENOTSUP from sync-averse filesystems
+// is tolerated inside), and a missing directory reports the open error.
+func TestFsyncDirDefault(t *testing.T) {
+	if err := fsyncDir(t.TempDir()); err != nil {
+		t.Fatalf("fsyncDir on a real directory: %v", err)
+	}
+	if err := fsyncDir(filepath.Join(t.TempDir(), "nope")); err == nil {
+		t.Fatal("fsyncDir on a missing directory succeeded")
 	}
 }
 

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"sepsp/internal/admission"
+	"sepsp/internal/distcache"
 	"sepsp/internal/faultinject"
 	"sepsp/internal/obs"
 	"sepsp/internal/obs/live"
@@ -42,6 +43,16 @@ type ServerOptions struct {
 	// AdmissionOptions — adaptive limiting is always on, starting wide open
 	// at MaxInFlight.
 	Admission *AdmissionOptions
+	// CacheBytes, when positive, enables the epoch-aware result cache with
+	// the given memory budget: completed SSSP distance vectors are retained
+	// by (source, epoch) and repeat queries are answered from the cache
+	// without entering the admission path at all, while concurrent misses
+	// on one source share a single computed wave lane (single-flight). An
+	// index hot-swap (Reweight) invalidates lazily — stale vectors stop
+	// matching and are evicted first — and degraded (fallback-served)
+	// results are never cached. 0 (the default) disables the cache at zero
+	// per-request cost.
+	CacheBytes int64
 	// Observer, when non-nil, receives the server's serving metrics in its
 	// registry: queue depth ("server.queue.depth" gauge), wave sizes
 	// ("server.wave.size" histogram), and admitted / refused / cancelled /
@@ -133,6 +144,11 @@ type Server struct {
 	queueTimeout time.Duration
 	inj          faultinject.Injector
 
+	// cache is the epoch-aware result cache; nil when disabled, and every
+	// operation on a nil cache is a no-op, so the disabled hot path pays
+	// one nil check inside the call.
+	cache *distcache.Cache
+
 	q           *admission.Queue[ssspReq]
 	lim         *admission.Limiter
 	brown       *admission.Brownout
@@ -181,6 +197,11 @@ type ssspReq struct {
 type ssspResp struct {
 	dist []float64
 	err  error
+	// epoch and degraded describe the wave that produced dist, so the
+	// cache can admit under the epoch that actually served the request
+	// (a swap may race the wave) and never admit fallback-served results.
+	epoch    uint64
+	degraded bool
 }
 
 // errEvicted answers a queued request displaced by a higher-priority
@@ -213,10 +234,12 @@ func newServer(ix *Index, opt *ServerOptions) (*Server, error) {
 	var tel *Telemetry
 	var logger *slog.Logger
 	var admOpt AdmissionOptions
+	var cacheBytes int64
 	if opt != nil {
-		if opt.MaxBatch < 0 || opt.MaxInFlight < 0 || opt.QueueTimeout < 0 {
+		if opt.MaxBatch < 0 || opt.MaxInFlight < 0 || opt.QueueTimeout < 0 || opt.CacheBytes < 0 {
 			return nil, fmt.Errorf("%w: server limits must be non-negative", ErrBadOptions)
 		}
+		cacheBytes = opt.CacheBytes
 		if opt.MaxBatch > 0 {
 			maxBatch = opt.MaxBatch
 		}
@@ -276,6 +299,20 @@ func newServer(ix *Index, opt *ServerOptions) (*Server, error) {
 		timedout:    reg.Counter(obs.MServerTimedOut),
 		panics:      reg.Counter(obs.MServerPanics),
 	}
+	// New(MaxBytes ≤ 0) is nil: the cache stays off as a nil receiver.
+	// Leader-local errors — the leader's own context or queue deadline
+	// ending — make single-flight waiters re-race for leadership instead
+	// of inheriting a failure that was never theirs.
+	s.cache = distcache.New(distcache.Config{
+		MaxBytes:    cacheBytes,
+		VectorBytes: int64(s.n) * 8,
+		Retryable: func(err error) bool {
+			return errors.Is(err, context.Canceled) ||
+				errors.Is(err, context.DeadlineExceeded) ||
+				errors.Is(err, ErrQueueTimeout)
+		},
+	})
+	s.mgr.setCache(s.cache)
 	if s.fbBreaker != nil {
 		fb := s.fbBreaker
 		fb.OnTransition(func(_, to admission.State) {
@@ -330,6 +367,42 @@ func (s *Server) SSSP(ctx context.Context, src int) ([]float64, error) {
 	if err := s.checkVertex(src); err != nil {
 		return nil, err
 	}
+	if s.cache == nil {
+		dist, _, _, err := s.ssspAdmit(ctx, src)
+		return dist, err
+	}
+	// The epoch is read before the lookup: a request started after a
+	// Reweight swap completes always keys on the new epoch, so a stale
+	// vector can never answer it. The hit path runs before any admission
+	// work — no limiter, no queue, no context wrapping.
+	epoch := s.mgr.Epoch()
+	if dist, ok := s.cache.Get(src, epoch); ok {
+		s.brown.Note(false) // an answered request is a healthy-signal, like any admission
+		if s.tel != nil {
+			s.tel.recordCacheHit(src, epoch)
+		}
+		return dist, nil
+	}
+	dist, how, err := s.cache.Do(ctx, src, epoch, func() ([]float64, uint64, bool, error) {
+		d, served, degraded, cerr := s.ssspAdmit(ctx, src)
+		return d, served, !degraded, cerr
+	})
+	if s.tel != nil {
+		switch {
+		case how == distcache.Computed:
+			s.tel.recordCacheMiss(src, epoch)
+		case err == nil: // Hit (Do re-checked) or Shared success
+			s.tel.recordCacheHit(src, epoch)
+		}
+	}
+	return dist, err
+}
+
+// ssspAdmit is the uncached serving path: admission, queueing, and the
+// coalesced wave. It reports the epoch that served the request and whether
+// the answer came from a degraded (fallback) engine, so the cache layer
+// can decide admission.
+func (s *Server) ssspAdmit(ctx context.Context, src int) ([]float64, uint64, bool, error) {
 	if s.queueTimeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeoutCause(ctx, s.queueTimeout, ErrQueueTimeout)
@@ -346,9 +419,10 @@ func (s *Server) SSSP(ctx context.Context, src int) ([]float64, error) {
 	res, victim := s.q.Push(r, cls, s.budget())
 	switch res {
 	case admission.Closed:
-		return nil, ErrServerClosed
+		return nil, 0, false, ErrServerClosed
 	case admission.Rejected:
-		return s.shed(ctx, src, cls)
+		dist, err := s.shed(ctx, src, cls)
+		return dist, 0, true, err // brownout answers are degraded: never cached
 	case admission.AdmittedEvicted:
 		// The victim's own SSSP call re-enters the shed path when it sees
 		// errEvicted; the send cannot block (resc is 1-buffered and the
@@ -363,14 +437,15 @@ func (s *Server) SSSP(ctx context.Context, src int) ([]float64, error) {
 	select {
 	case resp := <-r.resc:
 		if resp.err == errEvicted {
-			return s.shed(ctx, src, cls)
+			dist, err := s.shed(ctx, src, cls)
+			return dist, 0, true, err
 		}
-		return resp.dist, resp.err
+		return resp.dist, resp.epoch, resp.degraded, resp.err
 	case <-ctx.Done():
 		// The request stays in the queue; the dispatcher sees the dead
 		// context and discards (and counts) it without serving. Cause
 		// distinguishes ErrQueueTimeout from the caller's own ctx ending.
-		return nil, context.Cause(ctx)
+		return nil, 0, false, context.Cause(ctx)
 	}
 }
 
@@ -455,8 +530,10 @@ func (s *Server) runBrownout(ctx context.Context, ix *Index, src int) (dist []fl
 }
 
 // Dist returns the u→v distance. When the index's pair oracle has been
-// built it answers directly from the hub labels (no queueing); otherwise
-// it runs one SSSP request through the batching path and picks out v.
+// built it answers directly from the hub labels (no queueing); otherwise a
+// cached distance vector for u answers without entering the admission
+// limiter at all — a zero-allocation point read — and only a cache miss
+// runs one SSSP request through the batching path and picks out v.
 // Both endpoints are validated before any work is enqueued; an
 // out-of-range endpoint fails fast with an error wrapping ErrBadOptions
 // that names which endpoint (source or destination) is bad.
@@ -469,6 +546,16 @@ func (s *Server) Dist(ctx context.Context, u, v int) (float64, error) {
 	}
 	if o := s.mgr.Index().oracle.Load(); o != nil {
 		return o.Dist(u, v), nil
+	}
+	if s.cache != nil {
+		epoch := s.mgr.Epoch()
+		if d, ok := s.cache.GetAt(u, epoch, v); ok {
+			s.brown.Note(false)
+			if s.tel != nil {
+				s.tel.recordCacheHit(u, epoch)
+			}
+			return d, nil
+		}
 	}
 	dist, err := s.SSSP(ctx, u)
 	if err != nil {
@@ -531,20 +618,33 @@ type ServerHealth struct {
 	Brownout       bool  `json:"brownout"`
 	Brownouts      int64 `json:"brownouts"`
 	Evicted        int64 `json:"evicted"`
+	// CacheHits counts queries answered from a cached distance vector;
+	// CacheMisses counts single-flight leaders that computed fresh;
+	// CacheShared counts requests answered by sharing another request's
+	// in-flight computation; CacheEvictions counts vectors evicted for
+	// budget room; CacheBytes is the resident cache size right now. All
+	// stay zero when the cache is disabled (ServerOptions.CacheBytes = 0).
+	CacheHits      int64 `json:"cache_hits"`
+	CacheMisses    int64 `json:"cache_misses"`
+	CacheShared    int64 `json:"cache_shared"`
+	CacheEvictions int64 `json:"cache_evictions"`
+	CacheBytes     int64 `json:"cache_bytes"`
 }
 
 // String renders the snapshot as one "key=value" line for logs and CLIs.
 func (h ServerHealth) String() string {
 	return fmt.Sprintf(
-		"closed=%v degraded=%v epoch=%d rebuilding=%v queue=%d/%d maxBatch=%d requests=%d rejected=%d cancelled=%d timedout=%d waves=%d panics=%d limit=%d brownout=%v brownouts=%d evicted=%d",
+		"closed=%v degraded=%v epoch=%d rebuilding=%v queue=%d/%d maxBatch=%d requests=%d rejected=%d cancelled=%d timedout=%d waves=%d panics=%d limit=%d brownout=%v brownouts=%d evicted=%d cacheHits=%d cacheMisses=%d cacheShared=%d cacheEvictions=%d cacheBytes=%d",
 		h.Closed, h.Degraded, h.Epoch, h.Rebuilding, h.QueueDepth, h.MaxInFlight, h.MaxBatch,
 		h.Requests, h.Rejected, h.Cancelled, h.TimedOut, h.Waves, h.Panics,
-		h.EffectiveLimit, h.Brownout, h.Brownouts, h.Evicted)
+		h.EffectiveLimit, h.Brownout, h.Brownouts, h.Evicted,
+		h.CacheHits, h.CacheMisses, h.CacheShared, h.CacheEvictions, h.CacheBytes)
 }
 
 // Healthz returns a consistent-enough snapshot of the server's state; safe
 // to call concurrently with serving, at any time (including after Close).
 func (s *Server) Healthz() ServerHealth {
+	cst := s.cache.Stats() // zero-valued when the cache is disabled
 	return ServerHealth{
 		Closed:         s.q.IsClosed(),
 		Degraded:       s.mgr.Index().Degraded(),
@@ -563,6 +663,11 @@ func (s *Server) Healthz() ServerHealth {
 		Brownout:       s.brown.Active(),
 		Brownouts:      s.nBrownouts.Load(),
 		Evicted:        s.nEvicted.Load(),
+		CacheHits:      cst.Hits,
+		CacheMisses:    cst.Misses,
+		CacheShared:    cst.Shared,
+		CacheEvictions: cst.Evictions,
+		CacheBytes:     cst.Bytes,
 	}
 }
 
@@ -657,10 +762,9 @@ func (s *Server) serveWave(batch []ssspReq) {
 	defer release()
 	instr := s.tel != nil || s.logger != nil
 	var waveStart time.Time
-	var degraded bool
+	degraded := ix.Degraded() // also gates cache admission of the wave's rows
 	if instr {
 		waveStart = time.Now()
-		degraded = ix.Degraded()
 	}
 	defer func() {
 		if r := recover(); r != nil {
@@ -791,7 +895,7 @@ func (s *Server) serveWave(batch []ssspReq) {
 		s.lim.Observe(time.Duration(time.Now().UnixNano() - oldest))
 	}
 	for i, r := range alive {
-		r.resc <- ssspResp{dist: rows[i]}
+		r.resc <- ssspResp{dist: rows[i], epoch: epoch, degraded: degraded}
 	}
 }
 

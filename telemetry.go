@@ -71,6 +71,14 @@ type Telemetry struct {
 	swapsTotal   *live.Counter
 	rebuildFails *live.Counter
 
+	// Result-cache families, driven by the server's distance cache (see
+	// ServerOptions.CacheBytes); flat at zero when the cache is disabled.
+	cacheHits   *live.Counter
+	cacheMisses *live.Counter
+	cacheEvicts *live.Counter
+	cacheBytes  *live.Counter
+	cacheShared *live.Counter
+
 	queueWait   *live.Histogram // seconds queued: admission → wave start
 	computeTime *live.Histogram // seconds of shared wave compute
 	waveSize    *live.Histogram // live requests per executed wave
@@ -133,6 +141,16 @@ func NewTelemetry(opt *TelemetryOptions) *Telemetry {
 		"Completed epoch hot-swaps (successful reweighting rebuilds).", "")
 	t.rebuildFails = reg.Counter("sepsp_index_rebuild_failures_total",
 		"Reweighting rebuilds that failed or panicked (old epoch kept serving).", "")
+	t.cacheHits = reg.Counter("sepsp_cache_hits_total",
+		"Queries answered from a cached distance vector (no admission, no wave).", "")
+	t.cacheMisses = reg.Counter("sepsp_cache_misses_total",
+		"Cache misses that became single-flight leaders and computed a fresh vector.", "")
+	t.cacheEvicts = reg.Counter("sepsp_cache_evictions_total",
+		"Cached distance vectors evicted for memory-budget room.", "")
+	t.cacheBytes = reg.Counter("sepsp_cache_bytes_total",
+		"Cumulative bytes of distance vectors admitted to the cache.", "")
+	t.cacheShared = reg.Counter("sepsp_cache_singleflight_shared_total",
+		"Concurrent requests answered by sharing another request's in-flight computation.", "")
 	t.rebuildTime = reg.Histogram("sepsp_index_rebuild_duration_seconds",
 		"Seconds one reweighting rebuild attempt took, successful or not.", "")
 	t.queueWait = reg.Histogram("sepsp_server_queue_wait_seconds",
@@ -159,6 +177,9 @@ func (t *Telemetry) attach(s *Server) {
 	}
 	t.mu.Unlock()
 	s.mgr.setTelemetry(t)
+	// Wire the distance cache's live counters (nil-safe: a disabled cache
+	// leaves every sepsp_cache_* family flat at zero).
+	s.cache.SetLiveCounters(t.cacheHits, t.cacheMisses, t.cacheEvicts, t.cacheBytes, t.cacheShared)
 
 	slbl := fmt.Sprintf(`server="%d"`, sid)
 	t.reg.GaugeFunc("sepsp_server_queue_depth",
@@ -213,6 +234,9 @@ func (t *Telemetry) attach(s *Server) {
 			}
 			return 0
 		})
+	t.reg.GaugeFunc("sepsp_cache_resident_bytes",
+		"Bytes of distance vectors resident in the cache right now (0 when disabled).", slbl,
+		func() float64 { return float64(s.cache.Stats().Bytes) })
 	if seen {
 		return
 	}
@@ -304,6 +328,34 @@ func (t *Telemetry) recordWave(wave int64, batch int, computeNanos int64, epoch 
 		ComputeNanos: computeNanos,
 		Epoch:        epoch,
 		Degraded:     degraded,
+	})
+}
+
+// recordCacheHit records one query answered from a cached vector (or by
+// sharing another request's in-flight computation): it still counts as a
+// decided-OK query, plus a KindCacheHit flight-recorder event. The
+// sepsp_cache_* counter families are advanced by the cache itself.
+func (t *Telemetry) recordCacheHit(src int, epoch uint64) {
+	t.queries[live.OutcomeOK].Inc()
+	t.rec.Record(live.Event{
+		Time:    live.Now(),
+		Kind:    live.KindCacheHit,
+		Outcome: live.OutcomeOK,
+		Source:  int32(src),
+		Epoch:   epoch,
+	})
+}
+
+// recordCacheMiss records one cache miss that led this request through the
+// admission path as a single-flight leader. Ring event only: the serving
+// wave counts the query's outcome when it is decided.
+func (t *Telemetry) recordCacheMiss(src int, epoch uint64) {
+	t.rec.Record(live.Event{
+		Time:    live.Now(),
+		Kind:    live.KindCacheMiss,
+		Outcome: live.OutcomeOK,
+		Source:  int32(src),
+		Epoch:   epoch,
 	})
 }
 

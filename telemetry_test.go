@@ -284,6 +284,12 @@ func TestServerHealthGolden(t *testing.T) {
 		Brownout:       true,
 		Brownouts:      5,
 		Evicted:        3,
+
+		CacheHits:      200,
+		CacheMisses:    12,
+		CacheShared:    40,
+		CacheEvictions: 4,
+		CacheBytes:     32768,
 	}
 	got, err := json.MarshalIndent(h, "", "  ")
 	if err != nil {
@@ -298,7 +304,7 @@ func TestServerHealthGolden(t *testing.T) {
 	if !bytes.Equal(got, want) {
 		t.Fatalf("ServerHealth JSON drifted from golden file %s:\n got: %s\nwant: %s", golden, got, want)
 	}
-	wantStr := "closed=false degraded=true epoch=42 rebuilding=true queue=3/128 maxBatch=16 requests=1000 rejected=7 cancelled=2 timedout=1 waves=90 panics=1 limit=64 brownout=true brownouts=5 evicted=3"
+	wantStr := "closed=false degraded=true epoch=42 rebuilding=true queue=3/128 maxBatch=16 requests=1000 rejected=7 cancelled=2 timedout=1 waves=90 panics=1 limit=64 brownout=true brownouts=5 evicted=3 cacheHits=200 cacheMisses=12 cacheShared=40 cacheEvictions=4 cacheBytes=32768"
 	if s := h.String(); s != wantStr {
 		t.Fatalf("String() = %q\n     want %q", s, wantStr)
 	}
